@@ -1,0 +1,33 @@
+# Convenience targets mirroring the artifact's Makefile-driven workflow.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench examples results clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/debugging_walkthrough.py
+	$(PYTHON) examples/runtime_reconfiguration.py
+	$(PYTHON) examples/custom_lb_and_nat.py
+	$(PYTHON) examples/firewall_middlebox.py
+	$(PYTHON) examples/ids_porting.py
+
+results:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

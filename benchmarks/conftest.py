@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper: it runs
+the simulation experiment, prints the rows/series the paper reports,
+writes them under ``benchmarks/results/``, and asserts the shape
+(who wins, where the knees fall) — not absolute hardware numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from repro.accel.pigasus import generate_ruleset, parse_rules
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ids_rules():
+    """The synthetic ruleset standing in for the Pigasus-generated one."""
+    return parse_rules(generate_ruleset(120))
+
+
+@pytest.fixture(scope="session")
+def blacklist():
+    """The 1050-entry synthetic emerging-threats blacklist (§7.2)."""
+    return parse_blacklist(generate_blacklist(1050))
+
+
+@pytest.fixture(scope="session")
+def blacklist_matcher(blacklist):
+    return IpBlacklistMatcher(blacklist)
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

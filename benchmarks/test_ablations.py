@@ -1,0 +1,250 @@
+"""Ablations of Rosebud's design choices (DESIGN.md §5).
+
+These aren't paper figures; they quantify the trade-offs the paper
+argues qualitatively: LB policy under skew, the 32 Gbps per-RPU link
+width, the two-stage switch fan-out, slot counts, and the broadcast
+FIFO depth.
+"""
+
+import pytest
+
+from repro.analysis import (
+    estimated_latency_us,
+    format_table,
+    measure_latency,
+    measure_throughput,
+)
+from repro.core import (
+    BroadcastSystem,
+    HashLB,
+    LeastLoadedLB,
+    RosebudConfig,
+    RosebudSystem,
+    RoundRobinLB,
+)
+from repro.firmware import ForwarderFirmware
+from repro.sim import Simulator
+from repro.traffic import FixedSizeSource
+
+
+def _throughput(config, size, gbps_total, firmware=None, lb=None, n_flows=64,
+                warmup=800, measure=3000):
+    system = RosebudSystem(config, firmware or ForwarderFirmware(), lb_policy=lb)
+    sources = [
+        FixedSizeSource(system, port, gbps_total / 2, size, n_flows=n_flows,
+                        seed=port + 1, respect_generator_cap=False)
+        for port in range(2)
+    ]
+    return measure_throughput(system, sources, size, gbps_total,
+                              warmup_packets=warmup, measure_packets=measure)
+
+
+def test_ablation_lb_policies_under_skew(benchmark, emit):
+    """Hash LB trades balance for flow affinity; RR and least-loaded
+    stay balanced.  Measured as per-RPU load spread with few flows."""
+
+    def run():
+        rows = []
+        config = RosebudConfig(n_rpus=8, slots_per_rpu=32)
+        for name, lb in [
+            ("round_robin", RoundRobinLB()),
+            ("hash", HashLB(8)),
+            ("least_loaded", LeastLoadedLB()),
+        ]:
+            result = _throughput(config, 512, 200.0, lb=lb, n_flows=24)
+            counts = result.rpu_packet_counts
+            spread = max(counts) / max(1, min(counts))
+            rows.append([name, result.achieved_gbps, min(counts), max(counts), spread])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_lb_policies",
+        format_table(
+            ["policy", "Gbps", "min pkts/RPU", "max pkts/RPU", "imbalance"],
+            rows,
+            title="Ablation: LB policy under flow skew (24 flows, 8 RPUs, 512B)",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["hash"][4] > by_name["round_robin"][4]
+    assert by_name["round_robin"][4] == pytest.approx(1.0, abs=0.05)
+    assert by_name["least_loaded"][4] == pytest.approx(1.0, abs=0.05)
+
+
+def test_ablation_rpu_link_width(benchmark, emit):
+    """The 128-bit (32 Gbps) per-RPU link: latency cost of narrower vs
+    wider links, the trade §4.3 justifies via middlebox latency slack."""
+
+    def run():
+        rows = []
+        for bits in (64, 128, 256, 512):
+            config = RosebudConfig(n_rpus=16, rpu_bus_bits=bits)
+            system = RosebudSystem(config, ForwarderFirmware())
+            sources = [FixedSizeSource(system, p, 1.0, 1500) for p in range(2)]
+            hist = measure_latency(system, sources, warmup_packets=30, measure_packets=150)
+            rows.append([bits, bits * 0.25, hist.mean])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_rpu_link_width",
+        format_table(
+            ["link bits", "Gbps", "latency us (1500B, low load)"],
+            rows,
+            title="Ablation: per-RPU link width vs forwarding latency",
+        ),
+    )
+    latencies = [row[2] for row in rows]
+    assert latencies == sorted(latencies, reverse=True)  # wider = faster
+    # the paper's argument: even the 64-bit link stays far below PCIe-
+    # class latencies (~10us scale), so 128-bit is a sane resource choice
+    assert latencies[0] < 5.0
+
+
+def test_ablation_cluster_fanout(benchmark, emit):
+    """Two-stage switching: fewer, wider clusters save resources but
+    bound small-packet throughput (the 8-RPU knee)."""
+
+    def run():
+        rows = []
+        for rpus_per_cluster in (2, 4, 8):
+            config = RosebudConfig(n_rpus=8, slots_per_rpu=32,
+                                   rpus_per_cluster=rpus_per_cluster)
+            result = _throughput(config, 512, 200.0)
+            rows.append([
+                config.n_clusters, rpus_per_cluster,
+                result.achieved_gbps, 100 * result.fraction_of_line,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_cluster_fanout",
+        format_table(
+            ["clusters", "RPUs/cluster", "Gbps @512B/200G", "% of line"],
+            rows,
+            title="Ablation: cluster fan-out (8 RPUs)",
+        ),
+    )
+    # more clusters -> more aggregate switch bandwidth -> closer to line
+    gbps = [row[2] for row in rows]
+    assert gbps[0] >= gbps[1] >= gbps[2]
+    assert rows[0][3] > 99.0  # 4 clusters of 2 would reach line rate
+    assert rows[2][3] < 99.0  # a single 8-RPU cluster cannot
+
+
+def test_ablation_slot_count(benchmark, emit):
+    """Packet slots are the flow-control credits; too few of them
+    stall the pipeline at small packet sizes."""
+
+    def run():
+        rows = []
+        for slots in (2, 4, 8, 16):
+            config = RosebudConfig(n_rpus=16, slots_per_rpu=slots)
+            result = _throughput(config, 64, 200.0, warmup=1500, measure=4000)
+            rows.append([slots, result.achieved_mpps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_slot_count",
+        format_table(
+            ["slots/RPU", "MPPS @64B/200G"],
+            rows,
+            title="Ablation: slot count vs small-packet rate (16 RPUs)",
+        ),
+    )
+    mpps = [row[1] for row in rows]
+    assert mpps == sorted(mpps)  # more slots never hurts
+    assert mpps[-1] == pytest.approx(250.0, rel=0.03)
+
+
+def test_ablation_chained_vs_monolithic(benchmark, emit, blacklist, ids_rules):
+    """§4.4 processing chains: splitting firewall and IDS across RPU
+    stages (one accelerator per PR region) vs running the IDS alone.
+    The chain pays the loopback hop and halves the per-function
+    parallelism — the price of fitting two accelerators."""
+    from repro.accel import IpBlacklistMatcher
+    from repro.firmware import FirewallFirmware, PigasusHwReorderFirmware
+    from repro.firmware.chain_fw import build_chain
+
+    def run():
+        rows = []
+        for label in ("ids_only", "fw+ids chain"):
+            config = RosebudConfig(n_rpus=8, slots_per_rpu=32)
+            if label == "ids_only":
+                system = RosebudSystem(config, PigasusHwReorderFirmware(ids_rules))
+            else:
+                matcher = IpBlacklistMatcher(blacklist)
+                firmwares = build_chain([
+                    [FirewallFirmware(matcher) for _ in range(4)],
+                    [PigasusHwReorderFirmware(ids_rules) for _ in range(4)],
+                ])
+                system = RosebudSystem(config, firmwares)
+                system.lb.host_write(system.lb.REG_ENABLE_MASK, 0x0F)
+            sources = [
+                FixedSizeSource(system, port, 100.0, 512, seed=port + 1,
+                                respect_generator_cap=False)
+                for port in range(2)
+            ]
+            result = measure_throughput(system, sources, 512, 200.0,
+                                        warmup_packets=800, measure_packets=2500)
+            rows.append([label, result.achieved_gbps, result.achieved_mpps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_chain",
+        format_table(
+            ["pipeline", "Gbps @512B", "MPPS"],
+            rows,
+            title="Ablation: heterogeneous chain vs monolithic IDS (8 RPUs)",
+        ),
+    )
+    mono, chain = rows[0], rows[1]
+    assert chain[1] < mono[1]  # the chain costs throughput...
+    assert chain[1] > mono[1] * 0.3  # ...but stays the same order
+
+
+def test_ablation_broadcast_fifo_depth(benchmark, emit):
+    """Saturated broadcast latency scales with the outbound FIFO depth
+    (the 18 x 16-cycle product of §6.3)."""
+
+    def run():
+        rows = []
+        for depth in (4, 9, 18, 36):
+            sim = Simulator()
+            config = RosebudConfig(n_rpus=16, bcast_fifo_depth=depth)
+            bcast = BroadcastSystem(sim, config)
+            remaining = [100] * 16
+
+            def sender(rpu):
+                def send_next():
+                    if remaining[rpu] <= 0:
+                        return
+                    remaining[rpu] -= 1
+                    bcast.send(rpu, 0, 1, on_enqueued=lambda: sim.schedule(4, send_next))
+
+                return send_next
+
+            for rpu in range(16):
+                sim.schedule(0, sender(rpu))
+            sim.run()
+            steady = bcast.latency_ns._samples[-400:]
+            rows.append([depth, sum(steady) / len(steady)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_bcast_fifo",
+        format_table(
+            ["FIFO depth", "saturated latency ns"],
+            rows,
+            title="Ablation: broadcast FIFO depth vs saturated latency (16 RPUs)",
+        ),
+    )
+    latencies = [row[1] for row in rows]
+    assert latencies == sorted(latencies)
+    # latency ~ depth x 16 cycles x 4 ns: doubling depth ~doubles it
+    assert latencies[3] / latencies[2] == pytest.approx(2.0, rel=0.2)

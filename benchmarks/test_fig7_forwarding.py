@@ -1,0 +1,150 @@
+"""Figure 7: forwarding throughput (a: 16 RPUs, b: 8 RPUs) and
+round-trip latency (c).
+
+Regenerates the three panels: achieved rate vs packet size at 100 and
+200 Gbps offered for both designs, and the latency-vs-size curves under
+low and maximum load with the Eq. 1 prediction alongside.
+"""
+
+import pytest
+
+from repro.analysis import (
+    estimated_latency_us,
+    format_table,
+    forwarding_bounds,
+    forwarding_experiment,
+    measure_latency,
+)
+from repro.core import CONFIG_16_RPU, CONFIG_8_RPU, RosebudConfig, RosebudSystem
+from repro.firmware import FORWARDER_CYCLES, ForwarderFirmware
+from repro.traffic import FixedSizeSource
+
+#: Packet sizes the paper sweeps (§6.1): powers of two 64..8192 plus
+#: the worst case 65 and the common MTUs 1500 and 9000.
+SIZES = [64, 65, 128, 256, 512, 1024, 1500, 2048, 4096, 8192, 9000]
+
+
+def _curve(n_rpus, total_gbps, n_ports):
+    rows = []
+    measured = {}
+    config = CONFIG_16_RPU if n_rpus == 16 else CONFIG_8_RPU
+    for size in SIZES:
+        result = forwarding_experiment(
+            n_rpus, size, total_gbps, ForwarderFirmware,
+            n_ports_used=n_ports, warmup_packets=800, measure_packets=3000,
+        )
+        bound = forwarding_bounds(config, size, n_ports, 100.0, FORWARDER_CYCLES)
+        rows.append([
+            size,
+            result.achieved_gbps,
+            result.achieved_mpps,
+            result.line_rate_gbps,
+            100.0 * result.fraction_of_line,
+            bound.bottleneck,
+        ])
+        measured[size] = result
+    return rows, measured
+
+
+HEADERS = ["size(B)", "Gbps", "MPPS", "max Gbps", "% of max", "predicted bottleneck"]
+
+
+def test_fig7a_throughput_16rpu(benchmark, emit):
+    def run():
+        rows200, m200 = _curve(16, 200, 2)
+        rows100, m100 = _curve(16, 100, 1)
+        return rows200, m200, rows100, m100
+
+    rows200, m200, rows100, m100 = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7a_16rpu_200g",
+        format_table(HEADERS, rows200, title="Fig 7a: forwarding, 16 RPUs, 2x100G"),
+    )
+    emit(
+        "fig7a_16rpu_100g",
+        format_table(HEADERS, rows100, title="Fig 7a: forwarding, 16 RPUs, 1x100G"),
+    )
+
+    # paper: line rate at 200G for every size except 64B (88%, 250 MPPS)
+    assert m200[64].achieved_mpps == pytest.approx(250.0, rel=0.02)
+    assert 0.85 < m200[64].fraction_of_line < 0.92
+    for size in SIZES[2:]:
+        assert m200[size].fraction_of_line > 0.99, size
+    # 65B: 89% of max at 250 MPPS
+    assert m200[65].achieved_mpps == pytest.approx(250.0, rel=0.02)
+    # 100G single port: 125 MPPS cap -> 88% at 64B, line rate otherwise
+    assert m100[64].achieved_mpps == pytest.approx(125.0, rel=0.02)
+    for size in SIZES[2:]:
+        assert m100[size].fraction_of_line > 0.99, size
+
+
+def test_fig7b_throughput_8rpu(benchmark, emit):
+    def run():
+        rows200, m200 = _curve(8, 200, 2)
+        rows100, m100 = _curve(8, 100, 1)
+        return rows200, m200, rows100, m100
+
+    rows200, m200, rows100, m100 = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7b_8rpu_200g",
+        format_table(HEADERS, rows200, title="Fig 7b: forwarding, 8 RPUs, 2x100G"),
+    )
+    emit(
+        "fig7b_8rpu_100g",
+        format_table(HEADERS, rows100, title="Fig 7b: forwarding, 8 RPUs, 1x100G"),
+    )
+
+    # paper: similar at 100G, but 200G line rate only from 1024B up
+    assert m100[64].achieved_mpps == pytest.approx(125.0, rel=0.02)
+    for size in (128, 512, 1500, 9000):
+        assert m100[size].fraction_of_line > 0.99, size
+    for size in (1024, 1500, 2048, 4096, 8192, 9000):
+        assert m200[size].fraction_of_line > 0.99, size
+    assert m200[512].fraction_of_line < 0.995
+    # 8-RPU max packet rate: 125 MPPS (16-cycle forwarder on 8 cores)
+    assert max(r.achieved_mpps for r in m200.values()) <= 126.0
+
+
+LATENCY_SIZES = [64, 128, 256, 512, 1024, 1500, 2048, 4096, 8192]
+
+
+def test_fig7c_latency(benchmark, emit):
+    def run():
+        rows = []
+        for size in LATENCY_SIZES:
+            # low load
+            system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+            sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
+            low = measure_latency(system, sources, warmup_packets=50, measure_packets=300)
+            # maximum load
+            system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+            uncapped = size < 128  # only tiny frames exceed the DUT's rate
+            sources = [
+                FixedSizeSource(system, p, 100.0, size, respect_generator_cap=not uncapped)
+                for p in range(2)
+            ]
+            warmup = 70_000 if uncapped else 3_000
+            high = measure_latency(system, sources, warmup_packets=warmup, measure_packets=600)
+            rows.append([
+                size, low.mean, high.mean, estimated_latency_us(size),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7c_latency",
+        format_table(
+            ["size(B)", "low-load us", "max-load us", "Eq.1 us"],
+            rows,
+            title="Fig 7c: forwarding latency (16 RPUs)",
+        ),
+    )
+
+    by_size = {row[0]: row for row in rows}
+    # low-load latency tracks Eq. 1 within 10%
+    for size, low, _high, eq1 in rows:
+        assert low == pytest.approx(eq1, rel=0.10), size
+    # saturation penalty appears only at 64B (paper: +32.8 us)
+    assert by_size[64][2] - by_size[64][1] > 20.0
+    for size in (512, 1024, 1500):
+        assert by_size[size][2] - by_size[size][1] < 3.0, size

@@ -1,0 +1,110 @@
+"""§6.3: inter-RPU messaging — loopback throughput and broadcast latency.
+
+Regenerates the two reported results: the two-step-forwarding loopback
+throughput vs packet size (60%/61% at 64/65 B, line rate >=128 B) and
+the broadcast-message latency for sparse (72-92 ns) and saturating
+senders (1596-1680 ns, dominated by the 18-deep FIFO drained once per
+16 cycles).
+"""
+
+import pytest
+
+from repro.analysis import format_table, measure_throughput
+from repro.core import BroadcastSystem, RosebudConfig, RosebudSystem
+from repro.firmware import TwoStepForwarder
+from repro.sim import Simulator
+from repro.traffic import FixedSizeSource
+
+LOOPBACK_SIZES = [64, 65, 128, 256, 512, 1024]
+
+
+def test_sec63_loopback_throughput(benchmark, emit):
+    """Two-step forwarding through the single 100G loopback port."""
+
+    def run():
+        rows = []
+        measured = {}
+        for size in LOOPBACK_SIZES:
+            system = RosebudSystem(RosebudConfig(n_rpus=16), TwoStepForwarder(16))
+            system.lb.host_write(system.lb.REG_ENABLE_MASK, 0x00FF)
+            sources = [
+                FixedSizeSource(system, 0, 100.0, size, respect_generator_cap=False)
+            ]
+            result = measure_throughput(
+                system, sources, size, 100.0,
+                warmup_packets=1500, measure_packets=4000,
+            )
+            rows.append([size, result.achieved_gbps, 100 * result.fraction_of_line])
+            measured[size] = result
+        return rows, measured
+
+    rows, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "sec63_loopback",
+        format_table(
+            ["size(B)", "Gbps", "% of line"],
+            rows,
+            title="Sec 6.3: two-step forwarding over the loopback port (100G in)",
+        ),
+    )
+    # paper: 60% and 61% at 64/65 B; full line rate >= 128 B
+    assert 0.55 < measured[64].fraction_of_line < 0.65
+    assert 0.55 < measured[65].fraction_of_line < 0.67
+    for size in (128, 256, 512, 1024):
+        assert measured[size].fraction_of_line > 0.99, size
+
+
+def _broadcast_latency(n_rpus: int, saturate: bool, messages: int = 150) -> tuple:
+    sim = Simulator()
+    config = RosebudConfig(n_rpus=n_rpus)
+    bcast = BroadcastSystem(sim, config)
+    if saturate:
+        remaining = [messages] * n_rpus
+
+        def sender(rpu):
+            def send_next():
+                if remaining[rpu] <= 0:
+                    return
+                remaining[rpu] -= 1
+                bcast.send(rpu, 0x100, 1, on_enqueued=lambda: sim.schedule(4, send_next))
+
+            return send_next
+
+        for rpu in range(n_rpus):
+            sim.schedule(0, sender(rpu))
+    else:
+        for i in range(messages):
+            sim.schedule(i * 2000, (lambda idx: lambda: bcast.send(idx % n_rpus, 0x100, 1))(i))
+    sim.run()
+    samples = bcast.latency_ns._samples
+    steady = samples[len(samples) // 2 :]
+    return min(steady), sum(steady) / len(steady), max(steady)
+
+
+def test_sec63_broadcast_latency(benchmark, emit):
+    def run():
+        sparse = _broadcast_latency(16, saturate=False)
+        saturated16 = _broadcast_latency(16, saturate=True)
+        saturated8 = _broadcast_latency(8, saturate=True)
+        return sparse, saturated16, saturated8
+
+    sparse, saturated16, saturated8 = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["sparse, 16 RPUs", *sparse, "72-92"],
+        ["saturating, 16 RPUs", *saturated16, "1596-1680"],
+        ["saturating, 8 RPUs", *saturated8, "~half of 16-RPU"],
+    ]
+    emit(
+        "sec63_broadcast",
+        format_table(
+            ["scenario", "min ns", "mean ns", "max ns", "paper ns"],
+            rows,
+            title="Sec 6.3: broadcast message latency",
+        ),
+    )
+    # sparse in the paper's 72-92 ns band
+    assert 60 <= sparse[1] <= 100
+    # saturated: FIFO(18) x RR(16 cycles) = 1152 ns dominates
+    assert 1152 <= saturated16[1] <= 1700
+    # 8-RPU drains every 8 cycles -> roughly half the latency
+    assert saturated8[1] == pytest.approx(saturated16[1] / 2, rel=0.25)

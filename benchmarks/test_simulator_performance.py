@@ -1,0 +1,71 @@
+"""Simulator performance benchmarks (not a paper figure).
+
+The paper complains that RTL simulation of "a few thousand packets can
+take on the order of hours" (§2.3).  These benchmarks document what the
+reproduction's two simulation levels cost instead: the event kernel's
+raw rate, system-level packets/second, and ISS instructions/second —
+so regressions in the simulator itself are caught.
+"""
+
+import pytest
+
+from repro.core import RosebudConfig, RosebudSystem
+from repro.core.funcsim import FunctionalRpu
+from repro.firmware import FORWARDER_ASM, ForwarderFirmware
+from repro.packet import build_tcp
+from repro.sim import Simulator
+from repro.traffic import FixedSizeSource
+
+
+def test_kernel_event_rate(benchmark):
+    """Raw event scheduling/dispatch throughput."""
+
+    def run_events():
+        sim = Simulator()
+        count = 10_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1.0, lambda: chain(remaining - 1))
+
+        for _ in range(8):
+            chain(count // 8)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_events)
+    assert events >= 10_000
+
+
+def test_system_packet_rate(benchmark):
+    """End-to-end simulated packets per wall second."""
+
+    def run_packets():
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sources = [
+            FixedSizeSource(system, port, 100.0, 512, n_packets=1500, seed=port + 1)
+            for port in range(2)
+        ]
+        for source in sources:
+            source.start()
+        system.sim.run()
+        assert system.counters.value("delivered") == 3000
+        return system.counters.value("delivered")
+
+    benchmark(run_packets)
+
+
+def test_iss_instruction_rate(benchmark):
+    """RV32 instructions per wall second on the forwarder loop."""
+
+    def run_iss():
+        rpu = FunctionalRpu(FORWARDER_ASM)
+        data = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=64).data
+        for _batch in range(20):  # respect the 16-slot limit
+            for _ in range(10):
+                rpu.push_packet(data)
+            rpu.run_until_sent(len(rpu.sent) + 10)
+        return rpu.cpu.instret
+
+    instret = benchmark(run_iss)
+    assert instret > 2000

@@ -1,0 +1,96 @@
+"""Tables 1 & 2: base resource utilization for 16- and 8-RPU designs.
+
+Regenerates the per-component LUT/FF/BRAM/URAM/DSP rows with device
+percentages, exactly the rows the paper's tables report.
+"""
+
+import pytest
+
+from repro.analysis import format_table, format_utilization_row
+from repro.hw import (
+    COMPLETE_16,
+    COMPLETE_8,
+    FpgaDevice,
+    VU9P_CAPACITY,
+    components_for,
+)
+
+_HEADERS = ["Component", "LUTs", "Registers", "BRAM", "URAM", "DSP"]
+
+
+def _table_rows(n_rpus):
+    comp = components_for(n_rpus)
+    measured_total = COMPLETE_16 if n_rpus == 16 else COMPLETE_8
+    rows = [
+        format_utilization_row("Single RPU", comp.rpu_base, VU9P_CAPACITY),
+        format_utilization_row("Remaining (PR)", comp.rpu_remaining, VU9P_CAPACITY),
+        format_utilization_row("LB", comp.lb, VU9P_CAPACITY),
+        format_utilization_row("Remaining", comp.lb_remaining, VU9P_CAPACITY),
+        format_utilization_row("Single Interconnect", comp.interconnect, VU9P_CAPACITY),
+        format_utilization_row("CMAC", comp.cmac, VU9P_CAPACITY),
+        format_utilization_row("PCIe", comp.pcie, VU9P_CAPACITY),
+        format_utilization_row("Switching", comp.switching, VU9P_CAPACITY),
+        format_utilization_row("Complete design", measured_total, VU9P_CAPACITY),
+        ["VU9P device"] + [str(v) for v in VU9P_CAPACITY.as_dict().values()],
+    ]
+    return rows
+
+
+def test_table1_16rpu_resources(benchmark, emit):
+    rows = benchmark.pedantic(_table_rows, args=(16,), rounds=1, iterations=1)
+    text = format_table(_HEADERS, rows, title="Table 1: base utilization, 16 RPUs")
+    emit("table1_16rpu", text)
+
+    device = FpgaDevice(16)
+    device.check_fits()
+    report = device.utilization_report()
+    # headline: the whole framework costs 22% of the device's LUTs
+    assert report["Complete design"]["luts"] == pytest.approx(0.22, abs=0.005)
+    assert report["Complete design"]["uram"] == pytest.approx(0.652, abs=0.005)
+
+
+def test_sec5_die_crossing_registers(benchmark, emit):
+    """§5: after placement constraints 'the switching infrastructure
+    uses 54.7% of the FPGA's die crossing registers'."""
+    from repro.core import CONFIG_16_RPU, CONFIG_8_RPU
+    from repro.hw import Floorplan
+
+    def run():
+        rows = []
+        for label, config in (("16 RPUs", CONFIG_16_RPU), ("8 RPUs", CONFIG_8_RPU)):
+            floorplan = Floorplan(config)
+            floorplan.check_feasible()
+            usage = floorplan.sll_bits_per_boundary()
+            rows.append([
+                label,
+                100 * floorplan.crossing_register_utilization(),
+                usage[0],
+                usage[1],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "sec5_die_crossings",
+        format_table(
+            ["design", "% of SLL crossings", "boundary 0 bits", "boundary 1 bits"],
+            rows,
+            title="Sec 5: die-crossing register usage of the switching fabric",
+        ),
+    )
+    assert rows[0][1] == pytest.approx(54.7, abs=3.0)  # paper: 54.7%
+    assert rows[1][1] < rows[0][1]
+
+
+def test_table2_8rpu_resources(benchmark, emit):
+    rows = benchmark.pedantic(_table_rows, args=(8,), rounds=1, iterations=1)
+    text = format_table(_HEADERS, rows, title="Table 2: base utilization, 8 RPUs")
+    emit("table2_8rpu", text)
+
+    device = FpgaDevice(8)
+    device.check_fits()
+    report = device.utilization_report()
+    assert report["Complete design"]["luts"] == pytest.approx(0.139, abs=0.005)
+    # the 8-RPU design leaves much more room per PR region (§7.1.2)
+    c8, c16 = components_for(8), components_for(16)
+    assert c8.rpu_remaining.luts > 2 * c16.rpu_remaining.luts

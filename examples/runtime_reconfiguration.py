@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""No-pause runtime reconfiguration (§4.1, Appendix A.8).
+
+A live system upgrades its firmware one RPU at a time while traffic
+flows: the host tells the LB to stop feeding an RPU, waits for it to
+drain, loads the new image, boots the core, and re-enables it.  The
+other RPUs absorb the traffic throughout — zero packets lost.
+
+Run:  python examples/runtime_reconfiguration.py
+"""
+
+from repro.core import HostInterface, RosebudConfig, RosebudSystem
+from repro.firmware import ForwarderFirmware
+from repro.traffic import FixedSizeSource
+
+
+class UpgradedForwarder(ForwarderFirmware):
+    """The 'v2' firmware we roll out (identical behaviour, new tag)."""
+
+    name = "basic_fw_v2"
+
+
+def main() -> None:
+    config = RosebudConfig(n_rpus=16)
+    system = RosebudSystem(config, ForwarderFirmware())
+    # the paper measures 756 ms per load; we scale it so the demo's
+    # simulated window stays small while the protocol is identical
+    host = HostInterface(system, pr_load_ms=0.1)
+
+    n_packets = 40_000
+    sources = [
+        FixedSizeSource(system, port, 60.0, 512, n_packets=n_packets // 2,
+                        seed=port + 1)
+        for port in range(2)
+    ]
+    for source in sources:
+        source.start()
+
+    print("rolling upgrade: 16 RPUs, one reload at a time, traffic at 120G")
+    done = []
+    def upgrade(rpu: int) -> None:
+        record = host.reconfigure_rpu(
+            rpu, UpgradedForwarder(),
+            on_complete=lambda rec: done.append(rec) or schedule_next(rpu + 1),
+        )
+
+    def schedule_next(rpu: int) -> None:
+        if rpu < config.n_rpus:
+            system.sim.schedule(500, lambda: upgrade(rpu))
+
+    system.sim.schedule(2_000, lambda: upgrade(0))
+    system.sim.run()
+
+    upgraded = sum(
+        1 for rpu in system.rpus if isinstance(rpu.firmware, UpgradedForwarder)
+    )
+    print(f"  upgraded RPUs        : {upgraded}/16")
+    print(f"  packets offered      : {n_packets}")
+    print(f"  packets delivered    : {system.counters.value('delivered')}")
+    print(f"  packets dropped      : {system.total_rx_drops()}")
+    for record in done[:3]:
+        drain_us = config.clock.cycles_to_us(record.drain_cycles())
+        total_us = config.clock.cycles_to_us(record.total_cycles())
+        print(f"  RPU {record.rpu:<2}: drained in {drain_us:6.2f} us, "
+              f"back online after {total_us:8.2f} us (scaled load)")
+    print(f"  (paper: full bitfile load + boot averages 756 ms over 320 loads)")
+
+    assert upgraded == 16
+    assert system.counters.value("delivered") == n_packets
+    assert system.total_rx_drops() == 0
+    print("  -> zero loss during 16 consecutive reconfigurations")
+
+
+if __name__ == "__main__":
+    main()

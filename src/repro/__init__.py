@@ -1,0 +1,28 @@
+"""repro — a Python reproduction of Rosebud (ASPLOS 2023).
+
+Rosebud is a framework for FPGA-accelerated middleboxes built around
+Reconfigurable Packet-processing Units (RPUs): RISC-V soft cores that
+orchestrate custom hardware accelerators inside partially
+reconfigurable FPGA regions, fed by a customizable load balancer and a
+two-stage packet distribution fabric.
+
+This package reproduces the system in simulation:
+
+* :mod:`repro.sim` — discrete-event kernel and rate/latency arithmetic
+* :mod:`repro.packet` — packets, headers, crafting, pcap
+* :mod:`repro.riscv` — RV32IM assembler + instruction-set simulator
+* :mod:`repro.hw` — FPGA resource/placement models (Tables 1-4)
+* :mod:`repro.core` — the Rosebud framework itself
+* :mod:`repro.accel` — firewall and Pigasus accelerators
+* :mod:`repro.firmware` — RPU firmware (behavioural + assembly)
+* :mod:`repro.traffic` — workload generation
+* :mod:`repro.baselines` — Snort/Hyperscan and original Pigasus
+* :mod:`repro.analysis` — measurement harness and analytic models
+"""
+
+__version__ = "1.0.0"
+
+from .core.config import CONFIG_16_RPU, CONFIG_8_RPU, RosebudConfig
+from .core.system import RosebudSystem
+
+__all__ = ["CONFIG_16_RPU", "CONFIG_8_RPU", "RosebudConfig", "RosebudSystem", "__version__"]

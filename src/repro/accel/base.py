@@ -1,0 +1,112 @@
+"""Accelerator framework (§3.3, Appendix A.2).
+
+An accelerator inside an RPU exposes two interfaces:
+
+* a *register file* reached over MMIO from the RISC-V core — the
+  ``ACC_*`` defines in the paper's firmware listings;
+* optionally a *streaming port* fed by the DMA engine from packet
+  memory (the Pigasus matcher consumes payloads this way).
+
+:class:`AcceleratorWrapper` is the "basic wrapper" Appendix A.2
+describes: it assigns register addresses, provides blocking and
+non-blocking access semantics, and adds the small hardware queue that
+lets software treat the accelerator like an asynchronous worker.
+
+Concrete accelerators implement :meth:`read_reg`/:meth:`write_reg`
+against their register map and a cycle-cost model; the same object
+serves both the behavioural system simulator (functional calls) and
+the instruction-set simulator (mapped as an MMIO region).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+
+class AcceleratorError(RuntimeError):
+    """Raised on register protocol violations."""
+
+
+class Accelerator:
+    """Base class for RPU accelerators.
+
+    Register offsets are byte addresses within the accelerator's MMIO
+    window (``IO_EXT_BASE`` in firmware).  Subclasses register handlers
+    via :meth:`define_register`.
+    """
+
+    name = "accelerator"
+
+    def __init__(self) -> None:
+        self._regs: Dict[int, Tuple[Optional[callable], Optional[callable], int]] = {}
+
+    def define_register(
+        self,
+        offset: int,
+        nbytes: int,
+        read=None,
+        write=None,
+    ) -> None:
+        """Register a handler: ``read()`` -> int, ``write(value)``."""
+        self._regs[offset] = (read, write, nbytes)
+
+    # -- MMIO entry points (offset within the accelerator window) --------------
+
+    def read_reg(self, offset: int, nbytes: int = 4) -> int:
+        entry = self._regs.get(offset)
+        if entry is None or entry[0] is None:
+            raise AcceleratorError(
+                f"{self.name}: read of unmapped register {offset:#x}"
+            )
+        return entry[0]() & ((1 << (nbytes * 8)) - 1)
+
+    def write_reg(self, offset: int, value: int, nbytes: int = 4) -> None:
+        entry = self._regs.get(offset)
+        if entry is None or entry[1] is None:
+            raise AcceleratorError(
+                f"{self.name}: write of unmapped register {offset:#x}"
+            )
+        entry[1](value)
+
+    def mmio_handlers(self):
+        """(read, write) pair suitable for ``MemoryBus.add_mmio``."""
+        return (lambda off, n: self.read_reg(off, n), lambda off, v, n: self.write_reg(off, v, n))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to power-on state (PR load or RPU reboot)."""
+
+
+class AcceleratorWrapper:
+    """The per-accelerator request queue from Appendix A.2.
+
+    Software pushes work descriptors; the accelerator drains them in
+    order.  This keeps orchestration "similar to an asynchronous
+    scheduling software that manages local resources".
+    """
+
+    def __init__(self, accelerator: Accelerator, queue_depth: int = 4) -> None:
+        self.accelerator = accelerator
+        self.queue_depth = queue_depth
+        self._queue: Deque = deque()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def can_enqueue(self) -> bool:
+        return len(self._queue) < self.queue_depth
+
+    def enqueue(self, work) -> bool:
+        """Non-blocking submit; False when the hardware FIFO is full."""
+        if not self.can_enqueue():
+            return False
+        self._queue.append(work)
+        return True
+
+    def pop(self):
+        if not self._queue:
+            return None
+        return self._queue.popleft()

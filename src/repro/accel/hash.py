@@ -1,0 +1,91 @@
+"""The inline flow-hash accelerator (§7.1.2).
+
+The hash-based LB contains a small accelerator that computes a 32-bit
+hash of each packet's flow identity *inline*, uses 3 bits of it to pick
+the RPU, and pads the full result onto the packet front so RPU software
+can reuse it without recomputation ("know the exact hash that the LB
+has used").
+
+Functionally this is a CRC-32 over the 5-tuple fields; the hardware
+model pipelines one header word per cycle, so the latency is the
+header-word count plus a fixed pipeline depth — negligible next to
+packet serialization, which is why it lives inline in the LB.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Tuple
+
+from ..packet.headers import ip_to_int
+from ..packet.packet import Packet
+from .base import Accelerator
+
+#: Pipeline depth of the inline hash unit.
+PIPELINE_CYCLES = 4
+#: Header bytes hashed: src/dst IP + proto + ports = 13 bytes -> 4 words.
+HASHED_WORDS = 4
+
+
+class FlowHashAccelerator(Accelerator):
+    """CRC-32 flow hash with the LB's inline timing model.
+
+    Register map (the LB uses it internally; exposed for funcsim use):
+
+    ========  ========================================
+    offset    register
+    ========  ========================================
+    0x00      word in (write 4 words of flow identity)
+    0x04      hash out (read)
+    ========  ========================================
+    """
+
+    name = "flow_hash"
+
+    REG_WORD_IN = 0x00
+    REG_HASH_OUT = 0x04
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crc = 0
+        self.hashes_computed = 0
+        self.define_register(self.REG_WORD_IN, 4, write=self._feed_word)
+        self.define_register(self.REG_HASH_OUT, 4, read=self._read_hash)
+
+    # -- functional API (what HashLB calls) ----------------------------------------
+
+    def hash_tuple(
+        self, src_ip: str, dst_ip: str, protocol: int, src_port: int, dst_port: int
+    ) -> int:
+        key = struct.pack(
+            "!IIBHH", ip_to_int(src_ip), ip_to_int(dst_ip), protocol,
+            src_port, dst_port,
+        )
+        self.hashes_computed += 1
+        return zlib.crc32(key) & 0xFFFFFFFF
+
+    def hash_packet(self, packet: Packet) -> Optional[int]:
+        tup = packet.five_tuple
+        if tup is None:
+            return None
+        src, dst, proto, sport, dport = tup
+        return self.hash_tuple(src, dst, proto, sport, dport)
+
+    def latency_cycles(self) -> int:
+        """Inline latency: one cycle per hashed word + pipeline."""
+        return HASHED_WORDS + PIPELINE_CYCLES
+
+    # -- MMIO behaviour --------------------------------------------------------------
+
+    def _feed_word(self, value: int) -> None:
+        self._crc = zlib.crc32(value.to_bytes(4, "little"), self._crc) & 0xFFFFFFFF
+
+    def _read_hash(self) -> int:
+        result = self._crc
+        self._crc = 0
+        self.hashes_computed += 1
+        return result
+
+    def reset(self) -> None:
+        self._crc = 0

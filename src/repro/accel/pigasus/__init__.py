@@ -1,0 +1,39 @@
+"""Ported Pigasus IDS accelerators: ruleset, string matcher, port matcher."""
+
+from .port_match import PigasusPortMatcher
+from .rule_packer import (
+    CHUNK_BITS,
+    extract_appended_rule_ids,
+    pack_rule_ids,
+    unpack_rule_ids,
+)
+from .ruleset import (
+    PortSpec,
+    Rule,
+    RulesetError,
+    generate_ruleset,
+    parse_rules,
+)
+from .string_match import (
+    AhoCorasick,
+    BYTES_PER_CYCLE,
+    ENGINES_PER_RPU,
+    PigasusStringMatcher,
+)
+
+__all__ = [
+    "PigasusPortMatcher",
+    "CHUNK_BITS",
+    "extract_appended_rule_ids",
+    "pack_rule_ids",
+    "unpack_rule_ids",
+    "PortSpec",
+    "Rule",
+    "RulesetError",
+    "generate_ruleset",
+    "parse_rules",
+    "AhoCorasick",
+    "BYTES_PER_CYCLE",
+    "ENGINES_PER_RPU",
+    "PigasusStringMatcher",
+]

@@ -1,0 +1,120 @@
+"""The Pigasus port-group matcher (§7.1, Appendix A).
+
+In Pigasus the port matcher narrows the candidate rule set by the
+packet's TCP/UDP port pair before the expensive string verify.  The
+port groups are a lookup table over (protocol, port) -> rule-id bitmap;
+like the string matcher's tables it is URAM-resident and loaded at
+runtime through Rosebud's memory subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from .ruleset import Rule
+from ..base import Accelerator
+
+#: One cycle to index each of src/dst tables, one to intersect.
+LOOKUP_CYCLES = 3
+
+
+class PigasusPortMatcher(Accelerator):
+    """Port-group lookup: rules whose port constraints admit a packet.
+
+    Register map (mirrors ``ACC_PIG_PORTS`` usage in Appendix B):
+
+    ========  ==========================================
+    offset    register
+    ========  ==========================================
+    0x0c      ``ACC_PIG_PORTS`` (write: src<<16 | dst)
+    0x20      candidate count (read)
+    ========  ==========================================
+    """
+
+    name = "pigasus_port_match"
+
+    REG_PORTS = 0x0C
+    REG_COUNT = 0x20
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rules: List[Rule] = []
+        #: dense tables: port -> frozenset of rule indices (per proto/side)
+        self._any_rules: Dict[str, Set[int]] = {"tcp": set(), "udp": set()}
+        self._src_table: Dict[str, Dict[int, Set[int]]] = {"tcp": {}, "udp": {}}
+        self._dst_table: Dict[str, Dict[int, Set[int]]] = {"tcp": {}, "udp": {}}
+        self._last_count = 0
+        self.table_generation = 0
+        self.define_register(self.REG_PORTS, 4, write=self._write_ports)
+        self.define_register(self.REG_COUNT, 4, read=lambda: self._last_count)
+        self._last_proto = "tcp"
+
+    @property
+    def ready(self) -> bool:
+        return self.table_generation > 0
+
+    def load_rules(self, rules: Iterable[Rule]) -> int:
+        """Build the port tables at runtime; returns load cycles."""
+        self._rules = list(rules)
+        self._any_rules = {"tcp": set(), "udp": set()}
+        self._src_table = {"tcp": {}, "udp": {}}
+        self._dst_table = {"tcp": {}, "udp": {}}
+        entries = 0
+        for idx, rule in enumerate(self._rules):
+            protos = ("tcp", "udp") if rule.protocol == "ip" else (rule.protocol,)
+            for proto in protos:
+                if rule.src_ports.is_any and rule.dst_ports.is_any:
+                    self._any_rules[proto].add(idx)
+                    continue
+                # ranges expand into the dense tables like the hardware's
+                # port-group RAM; cap expansion for giant ranges by
+                # treating >1024-wide ranges as "any"
+                for table, spec in (
+                    (self._src_table[proto], rule.src_ports),
+                    (self._dst_table[proto], rule.dst_ports),
+                ):
+                    if spec.is_any:
+                        continue
+                    if spec.high - spec.low > 1024:
+                        self._any_rules[proto].add(idx)
+                        continue
+                    for port in range(spec.low, spec.high + 1):
+                        table.setdefault(port, set()).add(idx)
+                        entries += 1
+        self.table_generation += 1
+        return max(1, entries // 8)
+
+    def candidates(self, proto: str, src_port: int, dst_port: int) -> List[Rule]:
+        """Rules whose port groups admit this packet."""
+        if not self.ready:
+            raise RuntimeError("port tables not loaded")
+        result: List[Rule] = []
+        for idx in self._candidate_indices(proto, src_port, dst_port):
+            result.append(self._rules[idx])
+        self._last_count = len(result)
+        return result
+
+    def _candidate_indices(self, proto: str, src_port: int, dst_port: int) -> List[int]:
+        if proto not in ("tcp", "udp"):
+            return []
+        hits = set(self._any_rules[proto])
+        hits |= self._src_table[proto].get(src_port, set())
+        hits |= self._dst_table[proto].get(dst_port, set())
+        # verify both sides (a src-table hit may still fail dst ports)
+        return sorted(
+            idx
+            for idx in hits
+            if self._rules[idx].matches_ports(proto, src_port, dst_port)
+        )
+
+    def _write_ports(self, value: int) -> None:
+        src = (value >> 16) & 0xFFFF
+        dst = value & 0xFFFF
+        self.candidates(self._last_proto, src, dst)
+
+    @property
+    def lookup_cycles(self) -> int:
+        return LOOKUP_CYCLES
+
+    def reset(self) -> None:
+        self._last_count = 0

@@ -1,0 +1,51 @@
+"""The rule packer (Appendix A.1).
+
+Pigasus's rule packer emits matched rule IDs in output chunks; the port
+sets the chunk width to 32 bits to match the RISC-V word size, and the
+firmware appends the words to the end of the matched packet before
+punting it to the host (Appendix B).  The host side then unpacks them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+#: The port's chunk width (bits) — changed from Pigasus's 128 to match
+#: the RISC-V word size.
+CHUNK_BITS = 32
+
+
+def pack_rule_ids(sids: Sequence[int]) -> bytes:
+    """Pack matched rule IDs into 32-bit little-endian words.
+
+    A zero word terminates the list (the EoP marker firmware sees when
+    draining the match FIFO), so rule IDs of zero are not representable
+    — real snort sids start at 1.
+    """
+    for sid in sids:
+        if not 0 < sid < 2**32:
+            raise ValueError(f"rule id {sid} out of range")
+    return b"".join(struct.pack("<I", sid) for sid in sids) + struct.pack("<I", 0)
+
+
+def unpack_rule_ids(blob: bytes) -> List[int]:
+    """Host-side unpack: read words until the zero terminator."""
+    if len(blob) % 4:
+        raise ValueError("rule-id blob must be a whole number of words")
+    sids: List[int] = []
+    for offset in range(0, len(blob), 4):
+        (word,) = struct.unpack_from("<I", blob, offset)
+        if word == 0:
+            return sids
+        sids.append(word)
+    raise ValueError("missing zero terminator in rule-id blob")
+
+
+def extract_appended_rule_ids(packet_data: bytes, original_len: int) -> List[int]:
+    """Pull the rule IDs the firmware appended past the original payload."""
+    if original_len > len(packet_data):
+        raise ValueError("original length exceeds packet")
+    # firmware dword-aligns the append position (mem_align in Appendix B)
+    start = (original_len + 3) & ~3
+    return unpack_rule_ids(packet_data[start:])

@@ -1,0 +1,190 @@
+"""Snort-lite rulesets for the Pigasus case study (§7.1).
+
+Pigasus offloads Snort's *fast-pattern* matching: each rule contributes
+one content string (its fast pattern) plus a port constraint; a packet
+that hits the fast pattern and the port group is flagged with the rule
+ID and punted to full inspection (in the paper, the Snort process on
+the host).
+
+We parse a small but real subset of the Snort rule language — enough to
+express the rules the case study exercises — and can generate synthetic
+rulesets of any size for benchmarking.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+_RULE_RE = re.compile(
+    r"^(alert|block|drop)\s+(tcp|udp|ip)\s+(\S+)\s+(\S+)\s*->\s*(\S+)\s+(\S+)\s*\((.*)\)\s*$"
+)
+_OPTION_RE = re.compile(r'(\w+)\s*:\s*("(?:[^"\\]|\\.)*"|[^;]*)\s*;')
+
+
+class RulesetError(ValueError):
+    """Raised on rules outside the supported subset."""
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A port constraint: any, single port, or an inclusive range."""
+
+    low: int = 0
+    high: int = 65535
+
+    @classmethod
+    def parse(cls, text: str) -> "PortSpec":
+        text = text.strip().lower()
+        if text == "any":
+            return cls()
+        if ":" in text:
+            lo, hi = text.split(":", 1)
+            return cls(int(lo) if lo else 0, int(hi) if hi else 65535)
+        port = int(text)
+        return cls(port, port)
+
+    def matches(self, port: int) -> bool:
+        return self.low <= port <= self.high
+
+    @property
+    def is_any(self) -> bool:
+        return self.low == 0 and self.high == 65535
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One IDS rule: fast pattern + protocol + port groups.
+
+    ``content`` is the *fast pattern* the hardware matches;
+    ``extra_contents`` are the rule's remaining content options, which
+    only the host-side full matcher evaluates (the Snort half of the
+    Pigasus split, §7.1.1).
+    """
+
+    sid: int
+    protocol: str  # "tcp", "udp", or "ip"
+    src_ports: PortSpec
+    dst_ports: PortSpec
+    content: bytes
+    msg: str = ""
+    extra_contents: Tuple[bytes, ...] = ()
+
+    def matches_ports(self, proto: str, src_port: int, dst_port: int) -> bool:
+        if self.protocol != "ip" and self.protocol != proto:
+            return False
+        return self.src_ports.matches(src_port) and self.dst_ports.matches(dst_port)
+
+    def full_match(self, payload: bytes) -> bool:
+        """All contents present — the complete (host-side) check."""
+        if self.content not in payload:
+            return False
+        return all(extra in payload for extra in self.extra_contents)
+
+
+def _parse_content(raw: str) -> bytes:
+    """Snort content syntax: text with ``|hex bytes|`` escapes."""
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"'):
+        raw = raw[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "|":
+            end = raw.index("|", i + 1)
+            for token in raw[i + 1 : end].split():
+                out.append(int(token, 16))
+            i = end + 1
+        elif ch == "\\" and i + 1 < len(raw):
+            out.append(ord(raw[i + 1]))
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse a Snort-lite ruleset."""
+    rules: List[Rule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _RULE_RE.match(line)
+        if not match:
+            raise RulesetError(f"line {lineno}: unsupported rule syntax")
+        _action, proto, _src, src_ports, _dst, dst_ports, options = match.groups()
+        sid: Optional[int] = None
+        content: Optional[bytes] = None
+        extra: List[bytes] = []
+        msg = ""
+        for opt_name, opt_value in _OPTION_RE.findall(options):
+            if opt_name == "sid":
+                sid = int(opt_value.strip())
+            elif opt_name == "content":
+                if content is None:
+                    content = _parse_content(opt_value)
+                else:
+                    extra.append(_parse_content(opt_value))
+            elif opt_name == "msg":
+                msg = opt_value.strip().strip('"')
+        if sid is None:
+            raise RulesetError(f"line {lineno}: rule missing sid")
+        if content is None:
+            raise RulesetError(f"line {lineno}: rule missing content (fast pattern)")
+        if len(content) < 2:
+            raise RulesetError(f"line {lineno}: fast pattern shorter than 2 bytes")
+        rules.append(
+            Rule(
+                sid=sid,
+                protocol=proto,
+                src_ports=PortSpec.parse(src_ports),
+                dst_ports=PortSpec.parse(dst_ports),
+                content=content,
+                msg=msg,
+                extra_contents=tuple(extra),
+            )
+        )
+    return rules
+
+
+_WORDS = (
+    "exploit", "shellcode", "cmd.exe", "getroot", "xmrig", "trickbot",
+    "metasploit", "beacon", "dropper", "ransom", "keylog", "botnet",
+    "injector", "overflow", "payload", "backdoor", "rootkit", "stealer",
+)
+
+
+def generate_ruleset(n_rules: int = 200, seed: int = 11) -> str:
+    """A deterministic synthetic ruleset in the supported syntax.
+
+    Patterns are distinct, >= 4 bytes, and the port mix (mostly 80/443
+    dst-port rules plus some any-any) resembles registered snort rules.
+    """
+    rng = random.Random(seed)
+    lines = ["# synthetic snort-lite ruleset"]
+    seen = set()
+    sid = 1000
+    while len(seen) < n_rules:
+        word = rng.choice(_WORDS)
+        pattern = f"{word}-{rng.randrange(10_000):04d}"
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        sid += 1
+        proto = "tcp" if rng.random() < 0.85 else "udp"
+        dst = rng.choice(["80", "443", "any", "25", "8080", "1024:"])
+        # ~20% of rules carry a second content option the hardware does
+        # not check — the host's full matcher must confirm it
+        extra = ""
+        if rng.random() < 0.2:
+            extra = f' content:"confirm-{rng.randrange(1000):03d}";'
+        lines.append(
+            f'alert {proto} any any -> any {dst} '
+            f'(msg:"SYNTH {word}"; content:"{pattern}";{extra} sid:{sid};)'
+        )
+    return "\n".join(lines) + "\n"

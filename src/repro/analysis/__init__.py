@@ -1,0 +1,52 @@
+"""Measurement harness, analytic models, and report formatting."""
+
+from .harness import (
+    ThroughputResult,
+    forwarding_experiment,
+    measure_latency,
+    measure_throughput,
+)
+from .latency import (
+    FIXED_LATENCY_US,
+    MAC_GBPS,
+    RPU_LINK_GBPS,
+    SATURATED_64B_EXTRA_US,
+    estimated_latency_curve,
+    estimated_latency_us,
+)
+from .crossover import (
+    DEFAULT_SIZES,
+    line_rate_knee,
+    required_cycles_for_line_rate,
+    software_limit_mpps,
+    win_factor,
+)
+from .sweep import Sweep, SweepResult
+from .report import format_table, format_utilization_row, shape_check
+from .throughput import BottleneckReport, forwarding_bounds, loopback_bounds
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "line_rate_knee",
+    "required_cycles_for_line_rate",
+    "software_limit_mpps",
+    "win_factor",
+    "ThroughputResult",
+    "forwarding_experiment",
+    "measure_latency",
+    "measure_throughput",
+    "FIXED_LATENCY_US",
+    "MAC_GBPS",
+    "RPU_LINK_GBPS",
+    "SATURATED_64B_EXTRA_US",
+    "estimated_latency_curve",
+    "estimated_latency_us",
+    "format_table",
+    "Sweep",
+    "SweepResult",
+    "format_utilization_row",
+    "shape_check",
+    "BottleneckReport",
+    "forwarding_bounds",
+    "loopback_bounds",
+]

@@ -1,0 +1,78 @@
+"""Crossover analysis: where curves meet.
+
+Two questions the paper's figures answer visually:
+
+* the *line-rate knee*: the smallest packet size at which a
+  configuration sustains full line rate (e.g. 1024 B for the 8-RPU
+  forwarder at 200 G, 256 B for the firewall, 800 B for the HW-reorder
+  IPS);
+* the *win factor* between two systems at a size (e.g. Rosebud vs
+  Snort).
+
+These helpers compute both from the analytic bottleneck model so tests
+and benchmark reports can state them precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..core.config import RosebudConfig
+from ..sim.clock import line_rate_pps
+from .throughput import forwarding_bounds
+
+#: A dense ladder of candidate sizes for knee searches.
+DEFAULT_SIZES = tuple(range(64, 2049, 16)) + (4096, 8192, 9000)
+
+
+def line_rate_knee(
+    config: RosebudConfig,
+    sw_cycles_per_packet: float,
+    n_ports: int = 2,
+    port_gbps: float = 100.0,
+    accel_cycles_fn: Optional[Callable[[int], float]] = None,
+    sizes: Iterable[int] = DEFAULT_SIZES,
+    tolerance: float = 0.995,
+) -> Optional[int]:
+    """Smallest packet size predicted to reach line rate, or None.
+
+    ``accel_cycles_fn(size)`` supplies the accelerator occupancy for
+    payload-proportional accelerators (e.g. the Pigasus matcher).
+    """
+    for size in sorted(sizes):
+        accel = accel_cycles_fn(size) if accel_cycles_fn else 0.0
+        report = forwarding_bounds(
+            config, size, n_ports, port_gbps, sw_cycles_per_packet, accel
+        )
+        line = report.per_bound_pps["line_rate"]
+        if report.predicted_pps >= tolerance * line:
+            return size
+    return None
+
+
+def win_factor(
+    a_gbps_fn: Callable[[int], float],
+    b_gbps_fn: Callable[[int], float],
+    sizes: Iterable[int],
+) -> List[Tuple[int, float]]:
+    """Per-size throughput ratio of system A over system B."""
+    out: List[Tuple[int, float]] = []
+    for size in sizes:
+        b = b_gbps_fn(size)
+        out.append((size, a_gbps_fn(size) / b if b else float("inf")))
+    return out
+
+
+def software_limit_mpps(config: RosebudConfig, cycles_per_packet: float) -> float:
+    """Aggregate core-bound packet rate: n_rpus x clock / cycles."""
+    return config.n_rpus * config.clock.freq_hz / cycles_per_packet / 1e6
+
+
+def required_cycles_for_line_rate(
+    config: RosebudConfig, size: int, n_ports: int = 2, port_gbps: float = 100.0
+) -> float:
+    """Cycles-per-packet budget to sustain line rate at ``size`` —
+    the inverse question firmware authors ask (e.g. the firewall's
+    ~44-cycle budget at 256 B/200 G)."""
+    pps = n_ports * line_rate_pps(port_gbps, size)
+    return config.n_rpus * config.clock.freq_hz / pps

@@ -1,0 +1,192 @@
+"""Measurement harness for the benchmark suite.
+
+The artifact measures throughput by letting traffic flow "for a minute
+to get a good average" and reading averaged byte counters.  In
+simulation we do the same with a warmup: run until the pipeline is in
+steady state, snapshot counters, run a measurement window, and report
+rates over that window only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import RosebudConfig
+from ..core.firmware_api import FirmwareModel
+from ..core.lb import LBPolicy
+from ..core.system import RosebudSystem
+from ..sim.clock import max_effective_gbps
+from ..sim.stats import Histogram
+
+
+@dataclass
+class ThroughputResult:
+    """One steady-state measurement point."""
+
+    packet_size: int
+    offered_gbps: float
+    achieved_gbps: float
+    achieved_mpps: float
+    line_rate_gbps: float
+    rx_drops: int
+    rpu_packet_counts: List[int] = field(default_factory=list)
+    cycles_per_packet: float = 0.0
+
+    @property
+    def fraction_of_line(self) -> float:
+        if self.line_rate_gbps == 0:
+            return 0.0
+        return min(1.0, self.achieved_gbps / self.line_rate_gbps)
+
+
+def measure_throughput(
+    system: RosebudSystem,
+    sources: Sequence,
+    packet_size: int,
+    offered_gbps_total: float,
+    warmup_packets: int = 2000,
+    measure_packets: int = 8000,
+    max_cycles: float = 500_000_000,
+    include_host: bool = True,
+    include_absorbed: bool = False,
+) -> ThroughputResult:
+    """Run sources against a system and measure steady-state rates.
+
+    Completion is counted at MAC TX (plus the host link and firmware
+    drops, so drop/punt middleboxes measure their full served rate).
+    """
+    for source in sources:
+        source.start()
+
+    def completions() -> int:
+        done = system.counters.value("delivered")
+        if include_host:
+            done += system.counters.value("to_host")
+            done += system.counters.value("dropped_by_firmware")
+        return done
+
+    sim = system.sim
+    deadline = sim.now + max_cycles
+
+    def run_until_completions(target: int) -> None:
+        while completions() < target:
+            if sim.peek() is None or sim.now > deadline:
+                raise RuntimeError(
+                    f"stalled at {completions()} completions (target {target})"
+                )
+            sim.step()
+
+    run_until_completions(warmup_packets)
+    t0 = sim.now
+    base_tx = [
+        (meter.bytes_total, meter.packets_total) for meter in system.tx_meters
+    ]
+    base_host = (system.host_meter.bytes_total, system.host_meter.packets_total)
+    base_absorbed = sum(mac.counters.value("rx_bytes") for mac in system.macs)
+    base_drops = system.total_rx_drops()
+    base_rpu = list(system.rpu_packet_counts())
+
+    run_until_completions(warmup_packets + measure_packets)
+    elapsed_cycles = sim.now - t0
+    seconds = system.config.clock.cycles_to_seconds(elapsed_cycles)
+
+    tx_bytes = sum(
+        meter.bytes_total - b0 for meter, (b0, _p0) in zip(system.tx_meters, base_tx)
+    )
+    tx_packets = sum(
+        meter.packets_total - p0 for meter, (_b0, p0) in zip(system.tx_meters, base_tx)
+    )
+    if include_host:
+        tx_bytes += system.host_meter.bytes_total - base_host[0]
+        tx_packets += system.host_meter.packets_total - base_host[1]
+    if include_absorbed:
+        tx_bytes = sum(mac.counters.value("rx_bytes") for mac in system.macs) - base_absorbed
+        tx_packets = measure_packets
+
+    achieved_gbps = tx_bytes * 8 / seconds / 1e9
+    achieved_mpps = tx_packets / seconds / 1e6
+    rpu_counts = [
+        now - before for now, before in zip(system.rpu_packet_counts(), base_rpu)
+    ]
+    total_rpu_packets = sum(rpu_counts)
+    cpp = 0.0
+    if achieved_mpps > 0:
+        cpp = system.config.n_rpus * system.config.clock.freq_hz / (achieved_mpps * 1e6)
+
+    return ThroughputResult(
+        packet_size=packet_size,
+        offered_gbps=offered_gbps_total,
+        achieved_gbps=achieved_gbps,
+        achieved_mpps=achieved_mpps,
+        line_rate_gbps=max_effective_gbps(offered_gbps_total, packet_size),
+        rx_drops=system.total_rx_drops() - base_drops,
+        rpu_packet_counts=rpu_counts,
+        cycles_per_packet=cpp,
+    )
+
+
+def forwarding_experiment(
+    n_rpus: int,
+    packet_size: int,
+    total_gbps: float,
+    firmware_factory: Callable[[], FirmwareModel],
+    lb_policy: Optional[LBPolicy] = None,
+    n_ports_used: int = 2,
+    warmup_packets: int = 2000,
+    measure_packets: int = 8000,
+    config: Optional[RosebudConfig] = None,
+    include_host: bool = True,
+    source_factory: Optional[Callable[[RosebudSystem, int, float], object]] = None,
+) -> ThroughputResult:
+    """Build a fresh system + sources and measure one point."""
+    from ..traffic.generator import FixedSizeSource
+
+    cfg = config or RosebudConfig(n_rpus=n_rpus)
+    system = RosebudSystem(cfg, firmware_factory(), lb_policy=lb_policy)
+    per_port = total_gbps / n_ports_used
+    sources = []
+    for port in range(n_ports_used):
+        if source_factory is not None:
+            sources.append(source_factory(system, port, per_port))
+        else:
+            sources.append(
+                FixedSizeSource(system, port, per_port, packet_size, seed=port + 1)
+            )
+    return measure_throughput(
+        system,
+        sources,
+        packet_size,
+        total_gbps,
+        warmup_packets=warmup_packets,
+        measure_packets=measure_packets,
+        include_host=include_host,
+    )
+
+
+def measure_latency(
+    system: RosebudSystem,
+    sources: Sequence,
+    warmup_packets: int = 500,
+    measure_packets: int = 2000,
+    max_cycles: float = 500_000_000,
+) -> Histogram:
+    """Collect the forwarding-latency histogram over a steady window."""
+    for source in sources:
+        source.start()
+    sim = system.sim
+    deadline = sim.now + max_cycles
+
+    def run_until(target: int) -> None:
+        while system.counters.value("delivered") < target:
+            if sim.peek() is None or sim.now > deadline:
+                raise RuntimeError("latency run stalled")
+            sim.step()
+
+    run_until(warmup_packets)
+    histogram = Histogram("latency_us")
+    original = system.latency_us
+    system.latency_us = histogram
+    run_until(warmup_packets + measure_packets)
+    system.latency_us = original
+    return histogram

@@ -1,0 +1,104 @@
+"""Parameter-sweep runner with CSV artifacts.
+
+Benchmarks and examples repeatedly run "one experiment per (size,
+config)" loops; :class:`Sweep` packages that pattern and persists the
+results as CSV so figures can be regenerated outside the test harness
+(the artifact's experiments likewise leave data files behind).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> List[Dict[str, Any]]:
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "SweepResult":
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            rows = [dict(row) for row in reader]
+            columns = list(reader.fieldnames or [])
+        # best-effort numeric conversion
+        for row in rows:
+            for key, value in row.items():
+                try:
+                    row[key] = int(value)
+                except (TypeError, ValueError):
+                    try:
+                        row[key] = float(value)
+                    except (TypeError, ValueError):
+                        pass
+        return cls(columns=columns, rows=rows)
+
+
+class Sweep:
+    """Run ``experiment(**point)`` over a grid of parameter points.
+
+    ``experiment`` returns a dict of measured values; the sweep merges
+    it with the point's parameters into one row.
+    """
+
+    def __init__(
+        self,
+        experiment: Callable[..., Dict[str, Any]],
+        on_point: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.experiment = experiment
+        self.on_point = on_point
+
+    def run(self, points: Sequence[Dict[str, Any]]) -> SweepResult:
+        if not points:
+            raise ValueError("empty sweep")
+        rows: List[Dict[str, Any]] = []
+        columns: List[str] = []
+        for point in points:
+            measured = self.experiment(**point)
+            row = {**point, **measured}
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+            rows.append(row)
+            if self.on_point is not None:
+                self.on_point(row)
+        return SweepResult(columns=columns, rows=rows)
+
+    @staticmethod
+    def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+        """Cartesian product of named axes, in stable order."""
+        points: List[Dict[str, Any]] = [{}]
+        for name, values in axes.items():
+            points = [
+                {**point, name: value} for point in points for value in values
+            ]
+        return points

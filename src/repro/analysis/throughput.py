@@ -1,0 +1,93 @@
+"""Closed-form throughput bounds.
+
+The event simulator *measures* throughput; these formulas *predict* it
+from the same constants, following the bottleneck analysis of §6.1 and
+§7.1.4.  Agreement between the two (checked by tests) is the internal
+consistency argument for the model; the formulas are also what the
+benchmark reports print next to measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import RosebudConfig
+from ..sim.clock import line_rate_pps
+
+
+@dataclass
+class BottleneckReport:
+    """Predicted packet rate and which resource binds it."""
+
+    packet_size: int
+    offered_pps: float
+    predicted_pps: float
+    bottleneck: str
+    per_bound_pps: Dict[str, float]
+
+    @property
+    def predicted_gbps(self) -> float:
+        return self.predicted_pps * self.packet_size * 8 / 1e9
+
+
+def forwarding_bounds(
+    config: RosebudConfig,
+    packet_size: int,
+    n_ports: int,
+    port_gbps: float,
+    sw_cycles_per_packet: float,
+    accel_cycles_per_packet: float = 0.0,
+    generator_pps_per_port: float = 125e6,
+) -> BottleneckReport:
+    """Predict forwarding rate for a packet size and firmware cost.
+
+    Bounds considered (all in packets/second):
+
+    * line rate of the offered ports,
+    * the tester's generation cap,
+    * the 125 MPPS-per-port ingress (LB labelling) limit,
+    * aggregate cluster-switch service,
+    * aggregate per-RPU link service,
+    * aggregate RPU core (software) service,
+    * aggregate RPU accelerator service.
+    """
+    clock = config.clock.freq_hz
+    line = n_ports * line_rate_pps(port_gbps, packet_size)
+    bounds: Dict[str, float] = {
+        "line_rate": line,
+        "generator": n_ports * generator_pps_per_port,
+        "port_ingress": n_ports * clock / config.port_ingress_cycles,
+        "cluster_switch": config.n_clusters
+        * clock
+        / config.cluster_service_cycles(packet_size),
+        "rpu_link": config.n_rpus
+        * clock
+        / config.rpu_link_service_cycles(packet_size),
+        "rpu_software": config.n_rpus * clock / max(1.0, sw_cycles_per_packet),
+    }
+    if accel_cycles_per_packet > 0:
+        bounds["rpu_accel"] = config.n_rpus * clock / accel_cycles_per_packet
+    bottleneck = min(bounds, key=bounds.get)
+    return BottleneckReport(
+        packet_size=packet_size,
+        offered_pps=line,
+        predicted_pps=bounds[bottleneck],
+        bottleneck=bottleneck,
+        per_bound_pps=bounds,
+    )
+
+
+def loopback_bounds(
+    config: RosebudConfig,
+    packet_size: int,
+    port_gbps: float = 100.0,
+) -> Dict[str, float]:
+    """Loopback-path (two-step forwarding) bounds in pps: the single
+    100 G loopback port with its per-packet header-attach cost (§6.3)."""
+    clock = config.clock.freq_hz
+    return {
+        "line_rate": line_rate_pps(port_gbps, packet_size),
+        "loopback_header": clock / config.loopback_cycles,
+        "loopback_serialization": line_rate_pps(config.loopback_gbps, packet_size),
+    }

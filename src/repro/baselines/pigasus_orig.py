@@ -1,0 +1,46 @@
+"""The original (pre-port) Pigasus reference point (§7.1, [38]).
+
+Pigasus on its Stratix 10 MX is a fixed-function 100 Gbps pipeline:
+32 string-matching engines consuming 32 B/cycle behind a hardware
+reassembler, with no runtime ruleset updates (a new FPGA image is the
+only way to change rules).  This model provides the 100 Gbps comparison
+line for Figure 8 and the feature deltas the case study calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.clock import line_rate_pps
+
+#: Original design constants from the Pigasus paper as cited.
+ORIG_ENGINES = 32
+ORIG_BYTES_PER_CYCLE = 32
+ORIG_CLOCK_HZ = 250e6
+ORIG_LINE_GBPS = 100.0
+
+
+@dataclass
+class PigasusOriginal:
+    """Throughput/feature model of the unported Pigasus."""
+
+    line_gbps: float = ORIG_LINE_GBPS
+
+    #: runtime-updateable ruleset? Only via full FPGA image reload.
+    supports_runtime_rule_update: bool = False
+    #: partial reconfiguration of the matcher at runtime?
+    supports_partial_reconfiguration: bool = False
+
+    def matcher_capacity_gbps(self) -> float:
+        """32 engines x 1 B/cycle at 250 MHz = 64 Gbps of payload per
+        pipeline stage group; the full-FPGA pipeline replicates to
+        sustain the 100 Gbps line."""
+        return ORIG_ENGINES * ORIG_BYTES_PER_CYCLE * ORIG_CLOCK_HZ * 8 / 1e9 / 4
+
+    def throughput_gbps(self, packet_size: int) -> float:
+        """Line-rate at 100 Gbps for all packet sizes (their result)."""
+        pps = line_rate_pps(self.line_gbps, packet_size)
+        return pps * packet_size * 8 / 1e9
+
+    def throughput_mpps(self, packet_size: int) -> float:
+        return self.throughput_gbps(packet_size) * 1e9 / (packet_size * 8) / 1e6

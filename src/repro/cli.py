@@ -1,0 +1,340 @@
+"""Command-line interface — the reproduction's ``host_utils``.
+
+The artifact drives its experiments with Makefiles and shell scripts
+(``make do TEST=basic_fw ...``, ``run_latency.sh``, trace generators).
+This module provides the equivalent entry points::
+
+    python -m repro.cli profile   --rpus 16 --size 512 --gbps 200
+    python -m repro.cli latency   --sizes 64,512,1500
+    python -m repro.cli firewall  --size 512
+    python -m repro.cli ids       --mode hw --size 800
+    python -m repro.cli resources --rpus 16
+    python -m repro.cli trace     --kind firewall --out attack.pcap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from .accel.pigasus import generate_ruleset, parse_rules
+from .analysis import (
+    estimated_latency_us,
+    format_table,
+    format_utilization_row,
+    forwarding_experiment,
+    measure_latency,
+    measure_throughput,
+)
+from .core import HashLB, RosebudConfig, RosebudSystem
+from .firmware import (
+    FirewallFirmware,
+    ForwarderFirmware,
+    PigasusHwReorderFirmware,
+    PigasusSwReorderFirmware,
+)
+from .hw import FpgaDevice, VU9P_CAPACITY
+from .packet import write_pcap
+from .traffic import (
+    FixedSizeSource,
+    FlowTrafficSource,
+    attack_trace_from_rules,
+    firewall_trace,
+)
+
+
+def _parse_sizes(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Forwarding throughput for one (rpus, size, rate) point."""
+    result = forwarding_experiment(
+        args.rpus, args.size, args.gbps, ForwarderFirmware,
+        n_ports_used=args.ports,
+        warmup_packets=args.warmup, measure_packets=args.packets,
+    )
+    print(format_table(
+        ["RPUs", "size(B)", "offered Gbps", "achieved Gbps", "MPPS", "% of line"],
+        [[args.rpus, args.size, args.gbps, result.achieved_gbps,
+          result.achieved_mpps, 100 * result.fraction_of_line]],
+        title="basic_fw forwarding profile",
+    ))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    """Low-load forwarding latency vs Eq. 1 for a size sweep."""
+    rows = []
+    for size in _parse_sizes(args.sizes):
+        system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
+        hist = measure_latency(system, sources, warmup_packets=50,
+                               measure_packets=args.packets)
+        rows.append([size, hist.mean, estimated_latency_us(size)])
+    print(format_table(
+        ["size(B)", "measured us", "Eq.1 us"], rows, title="forwarding latency"
+    ))
+    return 0
+
+
+def cmd_firewall(args: argparse.Namespace) -> int:
+    """The §7.2 firewall at one packet size."""
+    prefixes = parse_blacklist(generate_blacklist(args.rules))
+    matcher = IpBlacklistMatcher(prefixes)
+    system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), FirewallFirmware(matcher))
+    sources = [
+        FixedSizeSource(system, port, 100.0, args.size,
+                        respect_generator_cap=False, seed=port + 1)
+        for port in range(2)
+    ]
+    result = measure_throughput(
+        system, sources, args.size, 200.0,
+        warmup_packets=args.warmup, measure_packets=args.packets,
+        include_absorbed=True,
+    )
+    print(format_table(
+        ["size(B)", "absorbed Gbps", "% of line", "fw drops"],
+        [[args.size, result.achieved_gbps, 100 * result.fraction_of_line,
+          system.counters.value("dropped_by_firmware")]],
+        title=f"firewall ({args.rules} blacklist entries, {args.rpus} RPUs)",
+    ))
+    return 0
+
+
+def cmd_ids(args: argparse.Namespace) -> int:
+    """The §7.1 IPS at one packet size (hw or sw reordering)."""
+    rules = parse_rules(generate_ruleset(args.rules))
+    payloads = [r.content for r in rules]
+    if args.mode == "hw":
+        firmware, lb = PigasusHwReorderFirmware(rules), None
+    else:
+        firmware, lb = PigasusSwReorderFirmware(rules), HashLB(args.rpus)
+    system = RosebudSystem(
+        RosebudConfig(n_rpus=args.rpus, slots_per_rpu=32), firmware, lb_policy=lb
+    )
+    sources = [
+        FlowTrafficSource(system, port, 100.0, args.size,
+                          attack_fraction=0.01, attack_payloads=payloads,
+                          reorder_fraction=0.003, n_flows=2048,
+                          seed=port + 1, respect_generator_cap=False)
+        for port in range(2)
+    ]
+    result = measure_throughput(
+        system, sources, args.size, 200.0,
+        warmup_packets=args.warmup, measure_packets=args.packets,
+    )
+    print(format_table(
+        ["mode", "size(B)", "Gbps", "MPPS", "cycles/pkt", "to host"],
+        [[args.mode, args.size, result.achieved_gbps, result.achieved_mpps,
+          result.cycles_per_packet, system.counters.value("to_host")]],
+        title=f"pigasus IPS ({args.rules} rules, {args.rpus} RPUs)",
+    ))
+    return 0
+
+
+def cmd_resources(args: argparse.Namespace) -> int:
+    """Print the Table 1/2-style utilization report."""
+    device = FpgaDevice(args.rpus)
+    device.check_fits()
+    comp = device.components
+    rows = [
+        format_utilization_row("Single RPU", comp.rpu_base, VU9P_CAPACITY),
+        format_utilization_row("Remaining (PR)", comp.rpu_remaining, VU9P_CAPACITY),
+        format_utilization_row("LB", comp.lb, VU9P_CAPACITY),
+        format_utilization_row("Single Interconnect", comp.interconnect, VU9P_CAPACITY),
+        format_utilization_row("CMAC", comp.cmac, VU9P_CAPACITY),
+        format_utilization_row("PCIe", comp.pcie, VU9P_CAPACITY),
+        format_utilization_row("Switching", comp.switching, VU9P_CAPACITY),
+    ]
+    print(format_table(
+        ["Component", "LUTs", "Registers", "BRAM", "URAM", "DSP"],
+        rows, title=f"base utilization, {args.rpus} RPUs",
+    ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate an attack trace pcap (the artifact's `make gen`)."""
+    if args.kind == "firewall":
+        prefixes = parse_blacklist(generate_blacklist(args.rules))
+        packets = firewall_trace(prefixes, packet_size=args.size)
+    else:
+        rules = parse_rules(generate_ruleset(args.rules))
+        packets = attack_trace_from_rules(rules, packet_size=args.size)
+    count = write_pcap(args.out, packets)
+    print(f"wrote {count} packets to {args.out}")
+    return 0
+
+
+def cmd_nat(args: argparse.Namespace) -> int:
+    """Run the NAT middlebox at one packet size."""
+    from .core import HashLB
+    from .firmware import NatFirmware
+
+    system = RosebudSystem(
+        RosebudConfig(n_rpus=args.rpus), NatFirmware(), lb_policy=HashLB(args.rpus)
+    )
+    sources = [
+        FixedSizeSource(system, 0, 100.0, args.size,
+                        respect_generator_cap=False, seed=1)
+    ]
+    result = measure_throughput(
+        system, sources, args.size, 100.0,
+        warmup_packets=args.warmup, measure_packets=args.packets,
+    )
+    translated = sum(
+        getattr(rpu.firmware, "translated", 0) for rpu in system.rpus
+    )
+    print(format_table(
+        ["size(B)", "Gbps", "MPPS", "translated"],
+        [[args.size, result.achieved_gbps, result.achieved_mpps, translated]],
+        title=f"NAT middlebox ({args.rpus} RPUs, hash LB)",
+    ))
+    return 0
+
+
+def cmd_loopback(args: argparse.Namespace) -> int:
+    """The §6.3 two-step-forwarding loopback measurement."""
+    from .firmware import TwoStepForwarder
+
+    system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), TwoStepForwarder(args.rpus))
+    system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << (args.rpus // 2)) - 1)
+    sources = [
+        FixedSizeSource(system, 0, 100.0, args.size, respect_generator_cap=False)
+    ]
+    result = measure_throughput(
+        system, sources, args.size, 100.0,
+        warmup_packets=args.warmup, measure_packets=args.packets,
+    )
+    print(format_table(
+        ["size(B)", "Gbps", "% of line", "loopbacked"],
+        [[args.size, result.achieved_gbps, 100 * result.fraction_of_line,
+          system.counters.value("loopbacked")]],
+        title="two-step forwarding over the loopback port",
+    ))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """Disassemble a built-in firmware or an RFW image file."""
+    from .firmware import FIREWALL_ASM, FORWARDER_ASM, PIGASUS_ASM
+    from .riscv import assemble
+    from .riscv.disasm import disassemble
+    from .riscv.image import FirmwareImage, SEG_IMEM
+
+    builtin = {
+        "forwarder": FORWARDER_ASM,
+        "firewall": FIREWALL_ASM,
+        "pigasus": PIGASUS_ASM,
+    }
+    if args.target in builtin:
+        image_bytes = assemble(builtin[args.target]).image
+    else:
+        blob = open(args.target, "rb").read()
+        image_bytes = FirmwareImage.from_bytes(blob).segment(SEG_IMEM).payload
+    for line in disassemble(image_bytes):
+        print(line)
+    return 0
+
+
+def cmd_image(args: argparse.Namespace) -> int:
+    """Build an RFW firmware image from a built-in firmware."""
+    from .firmware import FIREWALL_ASM, FORWARDER_ASM, PIGASUS_ASM
+    from .riscv.image import FirmwareImage
+
+    builtin = {
+        "forwarder": FORWARDER_ASM,
+        "firewall": FIREWALL_ASM,
+        "pigasus": PIGASUS_ASM,
+    }
+    if args.firmware not in builtin:
+        print(f"unknown firmware {args.firmware!r}; choices: {sorted(builtin)}")
+        return 1
+    image = FirmwareImage.from_asm(builtin[args.firmware])
+    blob = image.to_bytes()
+    with open(args.out, "wb") as fh:
+        fh.write(blob)
+    print(f"wrote {len(blob)} bytes ({len(image.segments)} segments) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Rosebud reproduction host utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, rpus=16):
+        p.add_argument("--rpus", type=int, default=rpus)
+        p.add_argument("--warmup", type=int, default=800)
+        p.add_argument("--packets", type=int, default=3000)
+
+    p = sub.add_parser("profile", help="forwarding throughput point")
+    common(p)
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--gbps", type=float, default=200.0)
+    p.add_argument("--ports", type=int, default=2)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("latency", help="latency sweep vs Eq.1")
+    p.add_argument("--rpus", type=int, default=16)
+    p.add_argument("--sizes", default="64,512,1500")
+    p.add_argument("--packets", type=int, default=200)
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("firewall", help="firewall case study point")
+    common(p)
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--rules", type=int, default=1050)
+    p.set_defaults(func=cmd_firewall)
+
+    p = sub.add_parser("ids", help="pigasus IPS case study point")
+    common(p, rpus=8)
+    p.add_argument("--mode", choices=["hw", "sw"], default="hw")
+    p.add_argument("--size", type=int, default=800)
+    p.add_argument("--rules", type=int, default=120)
+    p.set_defaults(func=cmd_ids)
+
+    p = sub.add_parser("resources", help="utilization report")
+    p.add_argument("--rpus", type=int, default=16)
+    p.set_defaults(func=cmd_resources)
+
+    p = sub.add_parser("nat", help="NAT middlebox point")
+    common(p, rpus=8)
+    p.add_argument("--size", type=int, default=512)
+    p.set_defaults(func=cmd_nat)
+
+    p = sub.add_parser("loopback", help="two-step loopback measurement")
+    common(p)
+    p.add_argument("--size", type=int, default=128)
+    p.set_defaults(func=cmd_loopback)
+
+    p = sub.add_parser("disasm", help="disassemble firmware")
+    p.add_argument("target", help="builtin name (forwarder/firewall/pigasus) or .rfw file")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("image", help="build an RFW firmware image")
+    p.add_argument("firmware", help="builtin name (forwarder/firewall/pigasus)")
+    p.add_argument("--out", default="firmware.rfw")
+    p.set_defaults(func=cmd_image)
+
+    p = sub.add_parser("trace", help="generate an attack pcap")
+    p.add_argument("--kind", choices=["firewall", "ids"], default="firewall")
+    p.add_argument("--rules", type=int, default=100)
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--out", default="attack.pcap")
+    p.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Packet slots and descriptors (§4.2).
+
+The LB refers to packet memory in RPUs by *slot number*: software on
+each RISC-V allocates slots at boot and tells the LB how many it has;
+the LB then labels each incoming packet with a target RPU and slot.
+Freed slots flow back to the LB when the interconnect finishes sending
+a packet out.  :class:`SlotTable` is the LB-side credit accounting and
+:class:`Descriptor` is what firmware sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class SlotError(RuntimeError):
+    """Raised on slot protocol violations (double free, bad index)."""
+
+
+@dataclass
+class Descriptor:
+    """The firmware-visible packet descriptor.
+
+    Mirrors the artifact's ``struct Desc``: a tag (slot index), data
+    pointer, length and port.  ``port`` selects the egress: physical
+    Ethernet ports are 0..n-1, ``PORT_HOST`` punts to host DRAM, and
+    ``PORT_LOOPBACK`` sends to another RPU.
+    """
+
+    tag: int
+    data: int
+    len: int
+    port: int
+
+    PORT_HOST = 2
+    PORT_LOOPBACK = 3
+
+
+class SlotTable:
+    """Per-RPU slot credits as tracked inside the LB.
+
+    The LB may only dispatch a packet to an RPU holding a free slot;
+    the interconnect returns the credit when the slot's packet leaves
+    the RPU.
+    """
+
+    def __init__(self, n_rpus: int, slots_per_rpu: int) -> None:
+        if n_rpus < 1 or slots_per_rpu < 1:
+            raise SlotError("need at least one RPU and one slot")
+        self.n_rpus = n_rpus
+        self.slots_per_rpu = slots_per_rpu
+        self._free: List[List[int]] = [
+            list(range(slots_per_rpu)) for _ in range(n_rpus)
+        ]
+        self._busy: List[set] = [set() for _ in range(n_rpus)]
+
+    def free_count(self, rpu: int) -> int:
+        return len(self._free[rpu])
+
+    def has_free(self, rpu: int) -> bool:
+        return bool(self._free[rpu])
+
+    def occupancy(self, rpu: int) -> int:
+        """Slots currently holding packets (the load signal a
+        least-loaded LB policy reads)."""
+        return len(self._busy[rpu])
+
+    def allocate(self, rpu: int) -> int:
+        if not self._free[rpu]:
+            raise SlotError(f"RPU {rpu} has no free slots")
+        slot = self._free[rpu].pop()
+        self._busy[rpu].add(slot)
+        return slot
+
+    def release(self, rpu: int, slot: int) -> None:
+        if slot not in self._busy[rpu]:
+            raise SlotError(f"slot {slot} of RPU {rpu} is not busy")
+        self._busy[rpu].remove(slot)
+        self._free[rpu].append(slot)
+
+    def flush(self, rpu: int) -> int:
+        """Forget all outstanding slots of an RPU (host prepares the LB
+        for a reconfiguration this way, §4.2).  Returns the number of
+        slots reclaimed."""
+        reclaimed = len(self._busy[rpu])
+        self._free[rpu] = list(range(self.slots_per_rpu))
+        self._busy[rpu] = set()
+        return reclaimed

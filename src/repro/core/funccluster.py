@@ -1,0 +1,127 @@
+"""Full-Rosebud functional simulation (Appendix A.4).
+
+The paper's testbench offers "both options of single RPU or full
+Rosebud simulation, the latter being more complete but also more
+time-consuming".  :class:`FunctionalCluster` is the full option over our
+substrates: N instruction-set-simulated RPUs behind a load-balancing
+policy, with egress collection per destination — useful for validating
+LB behaviour and multi-RPU firmware interactions functionally, with
+every core really executing its instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..accel.base import Accelerator
+from .config import RosebudConfig
+from .descriptors import SlotTable
+from .funcsim import FunctionalRpu, SentPacket
+
+
+class ClusterError(RuntimeError):
+    """Raised on cluster-level protocol problems (starvation etc.)."""
+
+
+class FunctionalCluster:
+    """N functional RPUs + a slot-aware round-robin/hash distribution."""
+
+    def __init__(
+        self,
+        n_rpus: int,
+        firmware_asm: str,
+        accelerator_factory: Optional[Callable[[], Accelerator]] = None,
+        config: Optional[RosebudConfig] = None,
+        policy: str = "round_robin",
+    ) -> None:
+        if policy not in ("round_robin", "hash"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.config = config or RosebudConfig(n_rpus=n_rpus)
+        self.policy = policy
+        self.rpus: List[FunctionalRpu] = []
+        for index in range(n_rpus):
+            accel = accelerator_factory() if accelerator_factory else None
+            rpu = FunctionalRpu(firmware_asm, accelerator=accel, config=self.config)
+            rpu.cpu.hartid = index
+            self.rpus.append(rpu)
+        self.slots = SlotTable(n_rpus, self.config.slots_per_rpu)
+        self._rr_next = 0
+        self._pending: Dict[int, int] = {i: 0 for i in range(n_rpus)}
+        self.pushed = 0
+
+    # -- distribution -------------------------------------------------------------
+
+    def _choose(self, data: bytes) -> int:
+        n = len(self.rpus)
+        if self.policy == "hash":
+            import zlib
+
+            # hash the IP/port fields like the hash LB (bytes 26..38
+            # cover src/dst IP + ports for an IPv4/TCP frame)
+            return zlib.crc32(data[26:38]) % n
+        for offset in range(n):
+            candidate = (self._rr_next + offset) % n
+            if self.slots.has_free(candidate):
+                self._rr_next = (candidate + 1) % n
+                return candidate
+        raise ClusterError("all RPUs out of slots")
+
+    def push_packet(self, data: bytes, port: int = 0) -> int:
+        """Distribute one packet; returns the chosen RPU index."""
+        rpu_index = self._choose(data)
+        self.slots.allocate(rpu_index)
+        self.rpus[rpu_index].push_packet(data, port)
+        self._pending[rpu_index] += 1
+        self.pushed += 1
+        return rpu_index
+
+    # -- execution ------------------------------------------------------------------
+
+    def total_sent(self) -> int:
+        return sum(len(rpu.sent) for rpu in self.rpus)
+
+    def run_until_all_sent(self, max_instructions_per_rpu: int = 2_000_000) -> None:
+        """Interleave the cores until every pushed packet was sent."""
+        target = self.pushed
+        budget = {i: max_instructions_per_rpu for i in range(len(self.rpus))}
+        seen = {i: 0 for i in range(len(self.rpus))}
+        while self.total_sent() < target:
+            progressed = False
+            for index, rpu in enumerate(self.rpus):
+                if seen[index] >= self._pending[index]:
+                    continue
+                if budget[index] <= 0:
+                    raise ClusterError(f"RPU {index} exceeded instruction budget")
+                executed = rpu.cpu.run(
+                    max_instructions=min(500, budget[index]),
+                    until=lambda cpu, r=rpu, i=index: len(r.sent) > seen[i],
+                )
+                budget[index] -= max(1, executed)
+                if len(rpu.sent) > seen[index]:
+                    freed = len(rpu.sent) - seen[index]
+                    seen[index] = len(rpu.sent)
+                    for _ in range(freed):
+                        # return a slot credit (tag bookkeeping is
+                        # per-RPU inside the funcsim)
+                        busy = self.slots.occupancy(index)
+                        if busy:
+                            slot = next(iter(self.slots._busy[index]))
+                            self.slots.release(index, slot)
+                    progressed = True
+            if not progressed and self.total_sent() < target:
+                # give idle cores a chance to poll (they may be waiting
+                # on descriptors already queued)
+                for rpu in self.rpus:
+                    rpu.cpu.run(max_instructions=50)
+
+    # -- results ----------------------------------------------------------------------
+
+    def sent_by_port(self) -> Dict[int, List[SentPacket]]:
+        out: Dict[int, List[SentPacket]] = {}
+        for rpu in self.rpus:
+            for sent in rpu.sent:
+                out.setdefault(sent.port, []).append(sent)
+        return out
+
+    def per_rpu_counts(self) -> List[int]:
+        return [len(rpu.sent) for rpu in self.rpus]

@@ -1,0 +1,170 @@
+"""Host-side control (§3.2, §4.1, Appendix A.6-A.8).
+
+The host library talks to Rosebud over PCIe: it reads status counters,
+pauses and pokes RPUs, dumps RPU memory, drives the LB's register
+channel, and performs runtime partial reconfiguration of an RPU with
+the drain protocol:
+
+1. tell the LB to stop sending packets to the RPU,
+2. wait for the packets inside the RPU to drain,
+3. load the new bitfile and boot the RISC-V (756 ms measured average),
+4. tell the LB to resume.
+
+Because other RPUs keep absorbing traffic throughout, the update is
+"no-pause" from the network's point of view — the reconfiguration
+benchmark asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.firmware_api import FirmwareModel
+from .system import RosebudSystem
+
+
+@dataclass
+class ReconfigRecord:
+    """Timing of one partial-reconfiguration operation."""
+
+    rpu: int
+    requested_at: float
+    drained_at: float = 0.0
+    booted_at: float = 0.0
+
+    def drain_cycles(self) -> float:
+        return self.drained_at - self.requested_at
+
+    def total_cycles(self) -> float:
+        return self.booted_at - self.requested_at
+
+
+class HostInterface:
+    """The host's view of a running Rosebud system."""
+
+    def __init__(self, system: RosebudSystem, pr_load_ms: Optional[float] = None) -> None:
+        self.system = system
+        self.config = system.config
+        #: PR bitfile load + boot time; defaults to the paper's 756 ms
+        #: but benchmarks can scale it to keep simulations short.
+        self.pr_load_ms = pr_load_ms if pr_load_ms is not None else self.config.pr_load_ms
+        self.reconfig_log: List[ReconfigRecord] = []
+
+    # -- status counters (§4.3) ----------------------------------------------------
+
+    def read_interface_counters(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for idx, mac in enumerate(self.system.macs):
+            out[f"port{idx}"] = mac.counters.snapshot()
+        return out
+
+    def read_rpu_counters(self) -> List[Dict[str, int]]:
+        return [rpu.counters.snapshot() for rpu in self.system.rpus]
+
+    # -- LB register channel -----------------------------------------------------------
+
+    def lb_read(self, addr: int) -> int:
+        return self.system.lb.host_read(addr)
+
+    def lb_write(self, addr: int, value: int) -> None:
+        self.system.lb.host_write(addr, value)
+
+    def set_receive_mask(self, mask: int) -> None:
+        """The artifact's RECV= mask: which RPUs take incoming traffic."""
+        self.lb_write(self.system.lb.REG_ENABLE_MASK, mask)
+
+    # -- RPU debugging (§3.4) -------------------------------------------------------------
+
+    def poke_rpu(self, rpu: int) -> Dict[str, int]:
+        """Send a poke interrupt and read the RPU's state: it stops
+        taking new packets and reports its queues."""
+        model = self.system.rpus[rpu]
+        model.pause()
+        state = {
+            "in_flight": model.in_flight,
+            "packets_processed": model.counters.value("packets"),
+            "paused": int(model.paused),
+        }
+        model.resume()
+        return state
+
+    def read_status_registers(self) -> List[int]:
+        """The breakpoint-like mechanism of §3.4: firmware sets status
+        words, the host watches them change."""
+        return [rpu.status_register for rpu in self.system.rpus]
+
+    def check_watchdogs(self, threshold_cycles: float = 100_000) -> List[int]:
+        """RPUs holding packets without forward progress — the hang
+        condition a RISC-V timer interrupt reports (§3.4)."""
+        return [
+            rpu.index
+            for rpu in self.system.rpus
+            if rpu.stalled(threshold_cycles)
+        ]
+
+    def evict_rpu(self, rpu: int) -> int:
+        """Force-evict a wedged RPU (Appendix A.8): stop LB traffic to
+        it, abandon its packets, and reclaim the slot credits.  Returns
+        how many packets were abandoned.  Follow with
+        :meth:`reconfigure_rpu` to bring it back."""
+        self.system.lb.disable_rpu(rpu)
+        abandoned = self.system.rpus[rpu].evict()
+        self.system.lb.slots.flush(rpu)
+        return len(abandoned)
+
+    # -- host DMA (firmware / table load & readback, Appendix A.6-A.7) -----------------
+
+    def dma_write(self, target, payload: bytes, on_done=None) -> None:
+        self.system.host_dma.write(target, payload, on_done)
+
+    def dma_read(self, source, on_done) -> None:
+        self.system.host_dma.read(source, on_done)
+
+    def inject_packet(self, packet) -> None:
+        """Send a frame through the virtual Ethernet interface (the
+        artifact's trace-injection path)."""
+        self.system.virtual_ethernet.send(packet)
+
+    # -- partial reconfiguration ------------------------------------------------------------
+
+    def reconfigure_rpu(
+        self,
+        rpu: int,
+        new_firmware: FirmwareModel,
+        on_complete: Optional[Callable[[ReconfigRecord], None]] = None,
+    ) -> ReconfigRecord:
+        """Run the drain -> load -> boot -> resume protocol.
+
+        Returns the (eventually filled) timing record; completion is
+        asynchronous in simulation time.
+        """
+        sim = self.system.sim
+        record = ReconfigRecord(rpu=rpu, requested_at=sim.now)
+        self.reconfig_log.append(record)
+        self.system.lb.disable_rpu(rpu)
+
+        def poll_drained() -> None:
+            model = self.system.rpus[rpu]
+            if model.in_flight > 0 or self.system.lb.slots.occupancy(rpu) > 0:
+                sim.schedule(32, poll_drained, name="pr_drain_poll")
+                return
+            record.drained_at = sim.now
+            # flush any stale slot credits, then load + boot
+            self.system.lb.slots.flush(rpu)
+            load_cycles = self.config.clock.ns_to_cycles(self.pr_load_ms * 1e6)
+            sim.schedule(load_cycles, finish_load, name="pr_load")
+
+        def finish_load() -> None:
+            model = self.system.rpus[rpu]
+            model.pause()
+            model.reboot(new_firmware)
+            self.system.lb.enable_rpu(rpu)
+            for ingress in self.system.port_ingress:
+                ingress.slot_freed()
+            record.booted_at = sim.now
+            if on_complete is not None:
+                on_complete(record)
+
+        sim.schedule(0, poll_drained, name="pr_start")
+        return record

@@ -1,0 +1,210 @@
+"""The RPU memory subsystem (§4.1, Figure 3).
+
+Each RPU splits its memory space three ways:
+
+* small, single-cycle **core-local** BRAMs for instructions and data
+  (packet headers are DMA-copied here for low-latency parsing);
+* a large, higher-latency **packet memory** in URAM, shared between the
+  core and the accelerators, also usable as scratch pad;
+* **accelerator-local** memory for lookup tables, loaded by the
+  distribution subsystem at boot (the runtime URAM-initialization path).
+
+FPGA block RAMs are dual-ported, and the paper's port assignment is the
+interesting design decision this module models:
+
+==============  =====================  =================================
+memory          port A                 port B
+==============  =====================  =================================
+core-local      core (dedicated)       DMA (header copy, messaging)
+packet memory   core+DMA (shared,      accelerators (exclusive)
+                core has priority)
+accel-local     accelerator            accelerator (DMA only at boot /
+                                       readback, when accel is idle)
+==============  =====================  =================================
+
+:class:`RpuMemorySubsystem` provides functional storage plus cycle
+accounting for port contention, so tests can verify both the data paths
+and the arbitration policy (e.g. the core stalls the DMA on the shared
+packet-memory port, never the other way around).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .config import RosebudConfig
+
+#: Access latencies in cycles (§4.1: BRAM single-cycle; URAM pipelined,
+#: higher latency hidden for streaming but paid on random access).
+BRAM_LATENCY = 1
+URAM_LATENCY = 3
+
+
+class MemoryAccessError(RuntimeError):
+    """Raised on out-of-range accesses or port-policy violations."""
+
+
+@dataclass
+class PortStats:
+    """Per-port access/stall accounting."""
+
+    accesses: int = 0
+    stall_cycles: int = 0
+    bytes_moved: int = 0
+
+
+class DualPortRam:
+    """A dual-ported RAM block with per-cycle port arbitration.
+
+    ``access(port, cycle, nbytes)`` registers an access at a fabric
+    cycle; two masters colliding on the same port in the same cycle
+    stall the lower-priority one.  Data is byte-addressable storage.
+    """
+
+    def __init__(self, size: int, latency: int, name: str) -> None:
+        self.size = size
+        self.latency = latency
+        self.name = name
+        self.data = bytearray(size)
+        self._port_busy_until: Dict[str, int] = {}
+        self.port_stats: Dict[str, PortStats] = {}
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryAccessError(
+                f"{self.name}: access [{addr:#x}, +{nbytes}) out of range"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, nbytes)
+        return bytes(self.data[addr : addr + nbytes])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr : addr + len(payload)] = payload
+
+    def access(self, port: str, cycle: int, nbytes: int = 4) -> int:
+        """Register a port access starting at ``cycle``; returns the
+        cycle at which data is available (including any stall waiting
+        for the port and the RAM latency)."""
+        stats = self.port_stats.setdefault(port, PortStats())
+        busy_until = self._port_busy_until.get(port, 0)
+        start = max(cycle, busy_until)
+        stats.stall_cycles += start - cycle
+        stats.accesses += 1
+        stats.bytes_moved += nbytes
+        # one beat per cycle on the port
+        beats = max(1, -(-nbytes // 8))
+        self._port_busy_until[port] = start + beats
+        return start + self.latency
+
+
+class RpuMemorySubsystem:
+    """All three memories of one RPU with the paper's port policy."""
+
+    def __init__(self, config: Optional[RosebudConfig] = None) -> None:
+        self.config = config or RosebudConfig()
+        cfg = self.config
+        self.imem = DualPortRam(cfg.imem_bytes, BRAM_LATENCY, "imem")
+        self.dmem = DualPortRam(cfg.dmem_bytes, BRAM_LATENCY, "dmem")
+        self.pmem = DualPortRam(cfg.packet_mem_bytes, URAM_LATENCY, "pmem")
+        self.accmem = DualPortRam(cfg.accel_mem_bytes, URAM_LATENCY, "accmem")
+        self.accelerators_active = False
+
+    # -- packet arrival path (DMA engine, §4.1) ------------------------------------
+
+    def dma_packet_in(self, slot: int, payload: bytes, cycle: int = 0) -> int:
+        """DMA a packet into its slot and copy the header to core-local
+        memory; returns the completion cycle."""
+        cfg = self.config
+        if not 0 <= slot < cfg.slots_per_rpu:
+            raise MemoryAccessError(f"slot {slot} out of range")
+        if len(payload) > cfg.slot_bytes:
+            raise MemoryAccessError("packet exceeds slot size")
+        slot_addr = slot * cfg.slot_bytes
+        self.pmem.write(slot_addr, payload)
+        done = self.pmem.access("dma_shared", cycle, len(payload))
+        # header copy to the dedicated DMA port of core-local memory
+        header = payload[: cfg.header_slot_bytes]
+        hdr_addr = cfg.dmem_bytes // 2 + slot * cfg.header_slot_bytes
+        if hdr_addr + len(header) <= cfg.dmem_bytes:
+            self.dmem.write(hdr_addr, header)
+            done = max(done, self.dmem.access("dma", cycle, len(header)))
+        return done
+
+    def header_slot(self, slot: int) -> bytes:
+        cfg = self.config
+        hdr_addr = cfg.dmem_bytes // 2 + slot * cfg.header_slot_bytes
+        return self.dmem.read(hdr_addr, cfg.header_slot_bytes)
+
+    def packet_slot(self, slot: int, length: int) -> bytes:
+        return self.pmem.read(slot * self.config.slot_bytes, length)
+
+    # -- core accesses -----------------------------------------------------------------
+
+    def core_read_dmem(self, addr: int, cycle: int = 0, nbytes: int = 4) -> int:
+        """Core-local data access: dedicated port, single cycle."""
+        self.dmem.read(addr, nbytes)
+        return self.dmem.access("core", cycle, nbytes)
+
+    def core_access_pmem(self, addr: int, cycle: int = 0, nbytes: int = 4) -> int:
+        """Core access to packet memory: shared port, core priority —
+        the core never stalls behind the DMA (§4.1)."""
+        self.pmem.read(addr, nbytes)
+        # core preempts: we account it on a virtual priority lane
+        stats = self.pmem.port_stats.setdefault("core_shared", PortStats())
+        stats.accesses += 1
+        stats.bytes_moved += nbytes
+        return cycle + self.pmem.latency
+
+    # -- accelerator accesses ------------------------------------------------------------
+
+    def accel_stream_pmem(self, addr: int, length: int, cycle: int = 0) -> int:
+        """Accelerator streaming read: exclusive port, pipelined — the
+        URAM latency is hidden after the first word, 16 B per cycle."""
+        self.pmem.read(addr, length)
+        stats = self.pmem.port_stats.setdefault("accel", PortStats())
+        stats.accesses += 1
+        stats.bytes_moved += length
+        beats = max(1, -(-length // 16))
+        return cycle + self.pmem.latency + beats
+
+    def accel_read_table(self, addr: int, cycle: int = 0, nbytes: int = 4) -> int:
+        self.accmem.read(addr, nbytes)
+        return self.accmem.access("accel", cycle, nbytes)
+
+    # -- boot-time table loading (the URAM trick, §7.1.2) --------------------------------
+
+    def load_accel_table(self, addr: int, table: bytes, cycle: int = 0) -> int:
+        """DMA into accelerator memory; only legal while the
+        accelerators are idle (boot or readback)."""
+        if self.accelerators_active:
+            raise MemoryAccessError(
+                "accelerator memory ports are accel-exclusive at runtime; "
+                "pause the accelerators before loading tables"
+            )
+        self.accmem.write(addr, table)
+        return self.accmem.access("dma_boot", cycle, len(table))
+
+    def readback_accel_table(self, addr: int, length: int) -> bytes:
+        if self.accelerators_active:
+            raise MemoryAccessError("readback requires idle accelerators")
+        return self.accmem.read(addr, length)
+
+    def set_accelerators_active(self, active: bool) -> None:
+        self.accelerators_active = active
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def contention_report(self) -> Dict[str, Dict[str, int]]:
+        """Stall/access accounting per memory and port."""
+        out: Dict[str, Dict[str, int]] = {}
+        for ram in (self.imem, self.dmem, self.pmem, self.accmem):
+            for port, stats in ram.port_stats.items():
+                out[f"{ram.name}.{port}"] = {
+                    "accesses": stats.accesses,
+                    "stall_cycles": stats.stall_cycles,
+                    "bytes": stats.bytes_moved,
+                }
+        return out

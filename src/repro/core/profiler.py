@@ -1,0 +1,110 @@
+"""Periodic rate sampling — the artifact's status-table view.
+
+The host utility prints a status table while traffic flows ("wait for
+the packets to flow for a minute... the last print of the status table
+is the average values").  :class:`StatsSampler` records the same rates
+on a fixed simulated interval so tests can assert *time-series*
+properties, e.g. that throughput does not dip while an RPU is being
+reconfigured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .system import RosebudSystem
+
+
+@dataclass
+class Sample:
+    """One interval's rates."""
+
+    t_start_cycles: float
+    t_end_cycles: float
+    gbps: float
+    mpps: float
+    rx_drops: int
+    host_gbps: float
+
+
+class StatsSampler:
+    """Samples delivered throughput every ``interval_cycles``."""
+
+    def __init__(self, system: RosebudSystem, interval_cycles: float = 25_000) -> None:
+        self.system = system
+        self.interval_cycles = interval_cycles
+        self.samples: List[Sample] = []
+        self._running = False
+        self._last_bytes = 0
+        self._last_packets = 0
+        self._last_drops = 0
+        self._last_host_bytes = 0
+        self._last_time = 0.0
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("sampler already started")
+        self._running = True
+        self._snapshot()
+        self.system.sim.schedule(self.interval_cycles, self._tick, name="sampler")
+
+    def _totals(self):
+        tx_bytes = sum(m.bytes_total for m in self.system.tx_meters)
+        tx_packets = sum(m.packets_total for m in self.system.tx_meters)
+        return tx_bytes, tx_packets
+
+    def _snapshot(self) -> None:
+        self._last_bytes, self._last_packets = self._totals()
+        self._last_drops = self.system.total_rx_drops()
+        self._last_host_bytes = self.system.host_meter.bytes_total
+        self._last_time = self.system.sim.now
+
+    def _tick(self) -> None:
+        now = self.system.sim.now
+        tx_bytes, tx_packets = self._totals()
+        seconds = self.system.config.clock.cycles_to_seconds(now - self._last_time)
+        host_bytes = self.system.host_meter.bytes_total
+        if seconds > 0:
+            self.samples.append(
+                Sample(
+                    t_start_cycles=self._last_time,
+                    t_end_cycles=now,
+                    gbps=(tx_bytes - self._last_bytes) * 8 / seconds / 1e9,
+                    mpps=(tx_packets - self._last_packets) / seconds / 1e6,
+                    rx_drops=self.system.total_rx_drops() - self._last_drops,
+                    host_gbps=(host_bytes - self._last_host_bytes) * 8 / seconds / 1e9,
+                )
+            )
+        self._snapshot()
+        if self._running:
+            self.system.sim.schedule(self.interval_cycles, self._tick, name="sampler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- analysis helpers ------------------------------------------------------------
+
+    def steady_samples(self, skip: int = 1) -> List[Sample]:
+        """Samples after a warmup prefix (and before the cooldown tail
+        if traffic has a fixed packet count)."""
+        return self.samples[skip:]
+
+    def min_gbps(self, skip: int = 1) -> float:
+        steady = self.steady_samples(skip)
+        return min(s.gbps for s in steady) if steady else 0.0
+
+    def mean_gbps(self, skip: int = 1) -> float:
+        steady = self.steady_samples(skip)
+        if not steady:
+            return 0.0
+        return sum(s.gbps for s in steady) / len(steady)
+
+    def dip_fraction(self, skip: int = 1) -> float:
+        """Worst-interval throughput relative to the mean — 1.0 means
+        perfectly flat; the no-pause reconfiguration claim is that this
+        stays near 1 during an RPU reload."""
+        mean = self.mean_gbps(skip)
+        if mean == 0:
+            return 0.0
+        return self.min_gbps(skip) / mean

@@ -1,0 +1,185 @@
+"""Event-level RPU model (§4.1).
+
+Inside an RPU the RISC-V core orchestrates (parses headers, feeds the
+accelerator, releases descriptors) while the accelerator pipeline does
+the heavy per-byte work.  The two overlap across packets: the core can
+start orchestrating the next packet while the accelerator is still
+streaming the previous payload.  The model is therefore a two-stage
+tandem queue — a serial *core* stage and a serial *accelerator* stage —
+whose steady-state throughput is ``1/max(sw_cycles, accel_cycles)``,
+exactly the analysis of §7.1.4.
+
+The functional counterpart — a full RV32 ISS wired to real memories and
+MMIO accelerators — lives in :mod:`repro.core.funcsim`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..packet.packet import Packet
+from ..sim.kernel import Simulator
+from ..sim.stats import CounterSet
+from .config import RosebudConfig
+from .firmware_api import FirmwareModel, FirmwareResult
+
+
+class RpuModel:
+    """One RPU: input descriptor queue -> core stage -> accel stage."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RosebudConfig,
+        index: int,
+        firmware: FirmwareModel,
+        on_action: Callable[[Packet, FirmwareResult, int], None],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.index = index
+        self.firmware = firmware
+        self.on_action = on_action
+        self.counters = CounterSet(["packets", "sw_cycles", "accel_cycles"])
+        self.paused = False
+
+        self._in_queue: Deque[Packet] = deque()
+        self._accel_queue: Deque[Packet] = deque()
+        self._results: Dict[int, FirmwareResult] = {}
+        self._sw_busy = False
+        self._accel_busy = False
+        #: host-readable status word the firmware can set (§3.4: the
+        #: breakpoint-like mechanism — the host watches it change)
+        self.status_register = 0
+        #: last cycle this RPU made forward progress (completed a packet
+        #: or was idle with an empty queue); feeds the hang watchdog
+        self.last_progress = 0.0
+        #: bumped by evict(): stale in-flight completions are ignored
+        self._generation = 0
+        firmware.on_boot(index, config)
+
+    # -- occupancy (for drain detection during reconfiguration) ---------------
+
+    @property
+    def in_flight(self) -> int:
+        return (
+            len(self._in_queue)
+            + len(self._accel_queue)
+            + int(self._sw_busy)
+            + int(self._accel_busy)
+        )
+
+    # -- packet entry -----------------------------------------------------------
+
+    def deliver(self, packet: Packet) -> None:
+        """A packet has fully landed in this RPU's packet memory and
+        the interconnect posts its descriptor to the core."""
+        packet.stamp("rpu_deliver", self.sim.now)
+        self._in_queue.append(packet)
+        self._kick_sw()
+
+    # -- core (software) stage -----------------------------------------------------
+
+    def _kick_sw(self) -> None:
+        if self._sw_busy or self.paused or not self._in_queue:
+            return
+        packet = self._in_queue.popleft()
+        result = self.firmware.process(packet, self.index)
+        self._results[packet.packet_id] = result
+        self._sw_busy = True
+        self.counters.add("packets")
+        self.counters.add("sw_cycles", int(result.sw_cycles))
+        generation = self._generation
+        self.sim.schedule(
+            result.sw_cycles,
+            lambda: self._sw_done(packet, generation),
+            name=f"rpu{self.index}.sw",
+        )
+
+    def _sw_done(self, packet: Packet, generation: int) -> None:
+        if generation != self._generation:
+            return  # evicted while in flight
+        self._sw_busy = False
+        result = self._results[packet.packet_id]
+        if result.accel_cycles > 0:
+            self._accel_queue.append(packet)
+            self._kick_accel()
+        else:
+            self._finish(packet)
+        self._kick_sw()
+
+    # -- accelerator stage --------------------------------------------------------
+
+    def _kick_accel(self) -> None:
+        if self._accel_busy or not self._accel_queue:
+            return
+        packet = self._accel_queue.popleft()
+        result = self._results[packet.packet_id]
+        self._accel_busy = True
+        self.counters.add("accel_cycles", int(result.accel_cycles))
+        generation = self._generation
+        self.sim.schedule(
+            result.accel_cycles,
+            lambda: self._accel_done(packet, generation),
+            name=f"rpu{self.index}.accel",
+        )
+
+    def _accel_done(self, packet: Packet, generation: int) -> None:
+        if generation != self._generation:
+            return  # evicted while in flight
+        self._accel_busy = False
+        self._finish(packet)
+        self._kick_accel()
+
+    # -- completion ------------------------------------------------------------------
+
+    def _finish(self, packet: Packet) -> None:
+        result = self._results.pop(packet.packet_id)
+        if result.appended_bytes:
+            packet.data = packet.data + b"\x00" * result.appended_bytes
+            packet.invalidate_parse_cache()
+        packet.stamp("rpu_done", self.sim.now)
+        self.last_progress = self.sim.now
+        self.on_action(packet, result, self.index)
+
+    def stalled(self, threshold_cycles: float) -> bool:
+        """Hang detection (§3.4): work is pending but nothing has
+        completed for ``threshold_cycles`` — the condition the RISC-V
+        timer-interrupt watchdog reports to the host."""
+        if self.in_flight == 0:
+            return False
+        return self.sim.now - self.last_progress > threshold_cycles
+
+    # -- host control (pause / reboot, §3.4 & §4.1) -------------------------------------
+
+    def pause(self) -> None:
+        """Stop starting new packets (in-flight work completes)."""
+        self.paused = True
+
+    def evict(self) -> list:
+        """The evict interrupt (Appendix A.8): abandon queued and
+        in-flight packets so the RPU can be reloaded even when hung.
+        Returns the abandoned packets (the host frees their slots)."""
+        abandoned = list(self._in_queue) + list(self._accel_queue)
+        self._in_queue.clear()
+        self._accel_queue.clear()
+        self._results.clear()
+        self._sw_busy = False
+        self._accel_busy = False
+        self._generation += 1
+        self.paused = True
+        return abandoned
+
+    def resume(self) -> None:
+        self.paused = False
+        self._kick_sw()
+
+    def reboot(self, firmware: Optional[FirmwareModel] = None) -> None:
+        """Load new firmware and boot; caller must have drained first."""
+        if self.in_flight:
+            raise RuntimeError(f"RPU {self.index} rebooted with packets in flight")
+        if firmware is not None:
+            self.firmware = firmware
+        self.firmware.on_boot(self.index, self.config)
+        self.paused = False

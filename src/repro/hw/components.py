@@ -1,0 +1,137 @@
+"""Resource models of Rosebud's hardware components.
+
+Numbers come directly from the paper's utilization tables (Tables 1–4);
+components whose size depends on configuration (switching fabric, LB,
+interconnect) are modelled with the 8- and 16-RPU data points and a
+simple arbitration-scaling interpolation for other RPU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .resources import ResourceVector
+
+# -- fixed components (same in 8- and 16-RPU designs, Tables 1 & 2) ------------
+
+CMAC = ResourceVector(luts=6397, registers=14849, bram=0, uram=18, dsp=0)
+PCIE = ResourceVector(luts=41526, registers=63742, bram=110, uram=32, dsp=0)
+
+# -- per-configuration measured points ------------------------------------------
+
+#: Single RPU framework logic (core + memory subsystem + accel manager),
+#: excluding the user accelerator, per Table 1 (16 RPU) / Table 2 (8 RPU).
+RPU_BASE_16 = ResourceVector(luts=4541, registers=3788, bram=24, uram=32, dsp=0)
+RPU_BASE_8 = ResourceVector(luts=4640, registers=3806, bram=24, uram=32, dsp=0)
+
+#: Resources left inside one PR region for the user accelerator.
+RPU_REMAINING_16 = ResourceVector(luts=23298, registers=52132, bram=12, uram=0, dsp=168)
+RPU_REMAINING_8 = ResourceVector(luts=59521, registers=125074, bram=90, uram=32, dsp=384)
+
+#: Round-robin LB and the remaining space in its PR block.
+LB_RR_16 = ResourceVector(luts=8221, registers=22503, bram=0, uram=0, dsp=0)
+LB_RR_8 = ResourceVector(luts=7580, registers=22076, bram=0, uram=0, dsp=0)
+LB_REMAINING_16 = ResourceVector(luts=70163, registers=135897, bram=144, uram=48, dsp=576)
+LB_REMAINING_8 = ResourceVector(luts=106436, registers=208324, bram=180, uram=96, dsp=648)
+
+INTERCONNECT_16 = ResourceVector(luts=2793, registers=2955, bram=0, uram=0, dsp=0)
+INTERCONNECT_8 = ResourceVector(luts=2964, registers=3051, bram=0, uram=0, dsp=0)
+
+SWITCHING_16 = ResourceVector(luts=86234, registers=123654, bram=48, uram=64, dsp=0)
+SWITCHING_8 = ResourceVector(luts=48402, registers=68890, bram=36, uram=32, dsp=0)
+
+COMPLETE_16 = ResourceVector(luts=259713, registers=332636, bram=542, uram=626, dsp=0)
+COMPLETE_8 = ResourceVector(luts=164699, registers=224404, bram=338, uram=338, dsp=0)
+
+# -- case-study components (Tables 3 & 4) ----------------------------------------
+
+#: Pigasus RPU internals (Table 3): per-RPU averages with the accelerator.
+PIGASUS_RISCV = ResourceVector(luts=2048, registers=1051, bram=0, uram=0, dsp=0)
+PIGASUS_MEM = ResourceVector(luts=3503, registers=906, bram=16, uram=32, dsp=0)
+PIGASUS_ACCEL_MGR = ResourceVector(luts=803, registers=2717, bram=0, uram=0, dsp=0)
+PIGASUS_ACCEL = ResourceVector(luts=36012, registers=49364, bram=56, uram=22, dsp=80)
+PIGASUS_RPU_CAPACITY = ResourceVector(luts=64161, registers=128880, bram=114, uram=64, dsp=384)
+PIGASUS_HASH_LB = ResourceVector(luts=10467, registers=24872, bram=26, uram=0, dsp=0)
+PIGASUS_LB_REMAINING = ResourceVector(luts=103549, registers=205528, bram=154, uram=96, dsp=648)
+
+#: Firewall RPU internals (Table 4).
+FIREWALL_RISCV = ResourceVector(luts=1976, registers=1050, bram=0, uram=0, dsp=0)
+FIREWALL_MEM = ResourceVector(luts=2166, registers=862, bram=16, uram=32, dsp=0)
+FIREWALL_ACCEL_MGR = ResourceVector(luts=518, registers=1944, bram=0, uram=0, dsp=0)
+FIREWALL_IP_CHECKER = ResourceVector(luts=835, registers=197, bram=0, uram=0, dsp=0)
+FIREWALL_RPU_CAPACITY = ResourceVector(luts=27839, registers=55920, bram=36, uram=32, dsp=168)
+
+
+@dataclass(frozen=True)
+class ComponentSet:
+    """The component vectors for one Rosebud base configuration."""
+
+    n_rpus: int
+    rpu_base: ResourceVector
+    rpu_remaining: ResourceVector
+    lb: ResourceVector
+    lb_remaining: ResourceVector
+    interconnect: ResourceVector
+    switching: ResourceVector
+    cmac: ResourceVector = CMAC
+    pcie: ResourceVector = PCIE
+
+    def complete_design(self) -> ResourceVector:
+        """Total utilization as the paper's "Complete design" row sums it:
+        RPUs + interconnects + LB + 2×CMAC + PCIe + switching."""
+        return (
+            self.rpu_base * self.n_rpus
+            + self.interconnect * self.n_rpus
+            + self.lb
+            + self.cmac * 2
+            + self.pcie
+            + self.switching
+        )
+
+
+def components_for(n_rpus: int) -> ComponentSet:
+    """Component set for a configuration; 8 and 16 are the measured
+    points, other counts interpolate switching/arbitration linearly in
+    the RPU count (arbitration logic scales with port count)."""
+    if n_rpus == 16:
+        return ComponentSet(
+            16, RPU_BASE_16, RPU_REMAINING_16, LB_RR_16, LB_REMAINING_16,
+            INTERCONNECT_16, SWITCHING_16,
+        )
+    if n_rpus == 8:
+        return ComponentSet(
+            8, RPU_BASE_8, RPU_REMAINING_8, LB_RR_8, LB_REMAINING_8,
+            INTERCONNECT_8, SWITCHING_8,
+        )
+    if n_rpus < 1:
+        raise ValueError("need at least one RPU")
+    # interpolate/extrapolate between the two measured designs
+    def lerp(a: ResourceVector, b: ResourceVector) -> ResourceVector:
+        t = (n_rpus - 8) / 8.0
+        return ResourceVector(
+            *(
+                int(round(getattr(a, k) + t * (getattr(b, k) - getattr(a, k))))
+                for k in ("luts", "registers", "bram", "uram", "dsp")
+            )
+        )
+
+    return ComponentSet(
+        n_rpus,
+        lerp(RPU_BASE_8, RPU_BASE_16),
+        lerp(RPU_REMAINING_8, RPU_REMAINING_16),
+        lerp(LB_RR_8, LB_RR_16),
+        lerp(LB_REMAINING_8, LB_REMAINING_16),
+        lerp(INTERCONNECT_8, INTERCONNECT_16),
+        lerp(SWITCHING_8, SWITCHING_16),
+    )
+
+
+def pigasus_rpu_total() -> ResourceVector:
+    """Table 3 "Total" row: core + memory + accel manager + Pigasus."""
+    return PIGASUS_RISCV + PIGASUS_MEM + PIGASUS_ACCEL_MGR + PIGASUS_ACCEL
+
+
+def firewall_rpu_total() -> ResourceVector:
+    """Table 4 "Total" row."""
+    return FIREWALL_RISCV + FIREWALL_MEM + FIREWALL_ACCEL_MGR + FIREWALL_IP_CHECKER

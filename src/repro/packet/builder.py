@@ -1,0 +1,133 @@
+"""Scapy-lite packet crafting.
+
+The paper's testbench uses Scapy to craft packets; this module provides
+the small subset we need: composing Ethernet/IPv4/TCP/UDP layers with
+payloads and padding to a target frame size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .headers import (
+    ETH_HEADER_SIZE,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    VLAN_TAG_SIZE,
+    VlanTag,
+    IPV4_HEADER_SIZE,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER_SIZE,
+    UDP_HEADER_SIZE,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+)
+from .packet import Packet
+
+MIN_FRAME_SIZE = 60  # 64 on the wire minus 4-byte FCS
+TCP_OVERHEAD = ETH_HEADER_SIZE + IPV4_HEADER_SIZE + TCP_HEADER_SIZE  # 54
+UDP_OVERHEAD = ETH_HEADER_SIZE + IPV4_HEADER_SIZE + UDP_HEADER_SIZE  # 42
+
+
+class BuildError(ValueError):
+    """Raised for impossible packet requests (e.g. size below headers)."""
+
+
+def build_tcp(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TCPHeader.FLAG_ACK,
+    src_mac: str = "02:00:00:00:00:01",
+    dst_mac: str = "02:00:00:00:00:02",
+    pad_to: Optional[int] = None,
+    vlan: Optional[int] = None,
+    **packet_kwargs,
+) -> Packet:
+    """Craft an Ethernet/IPv4/TCP frame.
+
+    ``pad_to`` pads the payload with zero bytes so the quoted frame size
+    (FCS excluded) equals the requested value, like the paper's
+    fixed-size packet generator.  ``vlan`` inserts an 802.1Q tag with
+    that VLAN id (which adds 4 bytes of overhead before padding).
+    """
+    overhead = TCP_OVERHEAD + (VLAN_TAG_SIZE if vlan is not None else 0)
+    if pad_to is not None:
+        if pad_to < overhead:
+            raise BuildError(f"pad_to={pad_to} below overhead {overhead}")
+        if len(payload) > pad_to - overhead:
+            raise BuildError("payload longer than pad_to allows")
+        payload = payload + b"\x00" * (pad_to - overhead - len(payload))
+
+    ip = IPv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=PROTO_TCP,
+        total_length=IPV4_HEADER_SIZE + TCP_HEADER_SIZE + len(payload),
+    )
+    tcp = TCPHeader(
+        src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags
+    )
+    frame = _ethernet(src_mac, dst_mac, vlan)
+    frame += ip.pack() + tcp.pack_with_checksum(src_ip, dst_ip, payload)
+    if len(frame) < MIN_FRAME_SIZE:
+        frame = frame + b"\x00" * (MIN_FRAME_SIZE - len(frame))
+    return Packet(frame, **packet_kwargs)
+
+
+def _ethernet(src_mac: str, dst_mac: str, vlan: Optional[int]) -> bytes:
+    if vlan is None:
+        return EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4).pack()
+    eth = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_VLAN)
+    return eth.pack() + VlanTag(vid=vlan, inner_ethertype=ETHERTYPE_IPV4).pack()
+
+
+def build_udp(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    src_mac: str = "02:00:00:00:00:01",
+    dst_mac: str = "02:00:00:00:00:02",
+    pad_to: Optional[int] = None,
+    vlan: Optional[int] = None,
+    **packet_kwargs,
+) -> Packet:
+    """Craft an Ethernet/IPv4/UDP frame (optionally 802.1Q-tagged)."""
+    overhead = UDP_OVERHEAD + (VLAN_TAG_SIZE if vlan is not None else 0)
+    if pad_to is not None:
+        if pad_to < overhead:
+            raise BuildError(f"pad_to={pad_to} below overhead {overhead}")
+        if len(payload) > pad_to - overhead:
+            raise BuildError("payload longer than pad_to allows")
+        payload = payload + b"\x00" * (pad_to - overhead - len(payload))
+
+    ip = IPv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=PROTO_UDP,
+        total_length=IPV4_HEADER_SIZE + UDP_HEADER_SIZE + len(payload),
+    )
+    udp = UDPHeader(src_port=src_port, dst_port=dst_port)
+    frame = _ethernet(src_mac, dst_mac, vlan)
+    frame += ip.pack() + udp.pack_with_checksum(src_ip, dst_ip, payload)
+    if len(frame) < MIN_FRAME_SIZE:
+        frame = frame + b"\x00" * (MIN_FRAME_SIZE - len(frame))
+    return Packet(frame, **packet_kwargs)
+
+
+def build_raw(size: int, ethertype: int = 0x88B5, **packet_kwargs) -> Packet:
+    """A non-IP Ethernet frame of exactly ``size`` bytes."""
+    if size < ETH_HEADER_SIZE:
+        raise BuildError(f"size {size} below Ethernet header {ETH_HEADER_SIZE}")
+    eth = EthernetHeader(ethertype=ethertype)
+    frame = eth.pack() + b"\x00" * (size - ETH_HEADER_SIZE)
+    return Packet(frame, **packet_kwargs)

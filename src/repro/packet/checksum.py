@@ -1,0 +1,46 @@
+"""Internet checksum (RFC 1071) helpers used by IPv4/TCP/UDP headers."""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """16-bit one's-complement sum of ``data`` (zero-padded to even length)."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """The Internet checksum: complement of the one's-complement sum."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """IPv4 pseudo-header used by TCP/UDP checksums."""
+    return bytes(
+        [
+            (src_ip >> 24) & 0xFF,
+            (src_ip >> 16) & 0xFF,
+            (src_ip >> 8) & 0xFF,
+            src_ip & 0xFF,
+            (dst_ip >> 24) & 0xFF,
+            (dst_ip >> 16) & 0xFF,
+            (dst_ip >> 8) & 0xFF,
+            dst_ip & 0xFF,
+            0,
+            protocol & 0xFF,
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        ]
+    )
+
+
+def transport_checksum(
+    src_ip: int, dst_ip: int, protocol: int, segment: bytes
+) -> int:
+    """TCP/UDP checksum over pseudo-header + segment."""
+    return internet_checksum(pseudo_header(src_ip, dst_ip, protocol, len(segment)) + segment)

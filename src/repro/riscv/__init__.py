@@ -1,0 +1,26 @@
+"""RV32IM toolchain: bus, decoder, instruction-set simulator, assembler."""
+
+from .assembler import Assembler, AssemblerError, Program, assemble
+from .bus import BusError, MemoryBus, MmioRegion, RamRegion
+from .cpu import CycleModel, CpuHalted, RiscvCpu
+from .isa import ABI_NAMES, DecodeError, Instruction, decode, parse_register, sign_extend
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "Program",
+    "assemble",
+    "BusError",
+    "MemoryBus",
+    "MmioRegion",
+    "RamRegion",
+    "CycleModel",
+    "CpuHalted",
+    "RiscvCpu",
+    "ABI_NAMES",
+    "DecodeError",
+    "Instruction",
+    "decode",
+    "parse_register",
+    "sign_extend",
+]

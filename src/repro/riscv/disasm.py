@@ -1,0 +1,130 @@
+"""RV32IM disassembler.
+
+Renders decoded instructions in conventional assembly syntax with ABI
+register names — the firmware-debugging view the funcsim single-stepper
+and the examples print.  Round-trips with the assembler for the whole
+supported instruction set (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .isa import DecodeError, Instruction, decode
+
+_REG_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+_CSR_NAMES: Dict[int, str] = {
+    0x300: "mstatus", 0x304: "mie", 0x305: "mtvec", 0x340: "mscratch",
+    0x341: "mepc", 0x342: "mcause", 0x343: "mtval", 0x344: "mip",
+    0xB00: "mcycle", 0xB02: "minstret", 0xF14: "mhartid",
+}
+
+_LOADS = {"lb", "lh", "lw", "lbu", "lhu"}
+_STORES = {"sb", "sh", "sw"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+_R_TYPE = {
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+}
+_I_ARITH = {"addi", "slti", "sltiu", "xori", "ori", "andi"}
+_SHIFTS = {"slli", "srli", "srai"}
+_CSR_OPS = {"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"}
+_BARE = {"ecall", "ebreak", "mret", "wfi", "fence"}
+
+
+def reg_name(index: int) -> str:
+    """ABI name of register ``index``."""
+    return _REG_NAMES[index]
+
+
+def csr_name(address: int) -> str:
+    return _CSR_NAMES.get(address, f"{address:#x}")
+
+
+def format_instruction(inst: Instruction, pc: Optional[int] = None) -> str:
+    """One instruction in assembly syntax.
+
+    When ``pc`` is given, branch/jump targets are rendered as absolute
+    addresses instead of relative offsets.
+    """
+    m = inst.mnemonic
+    rd, rs1, rs2 = reg_name(inst.rd), reg_name(inst.rs1), reg_name(inst.rs2)
+
+    def target() -> str:
+        if pc is not None:
+            return f"{(pc + inst.imm) & 0xFFFFFFFF:#x}"
+        return f"{inst.imm:+d}"
+
+    if m in _BARE:
+        return m
+    if m == "lui" or m == "auipc":
+        return f"{m} {rd}, {(inst.imm >> 12) & 0xFFFFF:#x}"
+    if m == "jal":
+        if inst.rd == 0:
+            return f"j {target()}"
+        return f"jal {rd}, {target()}"
+    if m == "jalr":
+        if inst.rd == 0 and inst.imm == 0 and inst.rs1 == 1:
+            return "ret"
+        return f"jalr {rd}, {inst.imm}({rs1})"
+    if m in _BRANCHES:
+        if inst.rs2 == 0:
+            shorthand = {"beq": "beqz", "bne": "bnez", "blt": "bltz", "bge": "bgez"}
+            if m in shorthand:
+                return f"{shorthand[m]} {rs1}, {target()}"
+        return f"{m} {rs1}, {rs2}, {target()}"
+    if m in _LOADS:
+        return f"{m} {rd}, {inst.imm}({rs1})"
+    if m in _STORES:
+        return f"{m} {rs2}, {inst.imm}({rs1})"
+    if m in _SHIFTS:
+        return f"{m} {rd}, {rs1}, {inst.imm}"
+    if m in _I_ARITH:
+        if m == "addi":
+            if inst.rs1 == 0:
+                return f"li {rd}, {inst.imm}"
+            if inst.imm == 0:
+                return f"mv {rd}, {rs1}"
+            if inst.rd == 0 and inst.rs1 == 0 and inst.imm == 0:
+                return "nop"
+        return f"{m} {rd}, {rs1}, {inst.imm}"
+    if m in _R_TYPE:
+        return f"{m} {rd}, {rs1}, {rs2}"
+    if m in _CSR_OPS:
+        csr = csr_name(inst.csr)
+        if m.endswith("i"):
+            return f"{m} {rd}, {csr}, {inst.rs1}"
+        return f"{m} {rd}, {csr}, {rs1}"
+    raise DecodeError(f"cannot format {m}")  # pragma: no cover
+
+
+def disassemble_word(word: int, pc: Optional[int] = None) -> str:
+    """Decode + format a single 32-bit word."""
+    return format_instruction(decode(word), pc)
+
+
+def disassemble(image: bytes, base: int = 0, stop_on_error: bool = False) -> List[str]:
+    """Disassemble a flat image into ``addr: word  text`` lines.
+
+    Data words that don't decode render as ``.word``; with
+    ``stop_on_error`` the first such word ends the listing (useful when
+    code is followed by data).
+    """
+    lines: List[str] = []
+    for offset in range(0, len(image) - len(image) % 4, 4):
+        word = int.from_bytes(image[offset : offset + 4], "little")
+        addr = base + offset
+        try:
+            text = disassemble_word(word, pc=addr)
+        except DecodeError:
+            if stop_on_error:
+                break
+            text = f".word {word:#010x}"
+        lines.append(f"{addr:#010x}: {word:08x}  {text}")
+    return lines

@@ -1,0 +1,298 @@
+"""RV32IM instruction encoding and decoding.
+
+Covers the full RV32I base set plus the M extension (MUL/DIV family),
+which is what the VexRiscv configuration used in Rosebud provides, plus
+the handful of Zicsr instructions the firmware runtime needs for the
+timer/interrupt machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class DecodeError(ValueError):
+    """Raised for unrecognized or malformed encodings."""
+
+
+def sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & (mask - 1)) - (value & mask)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction: mnemonic + register/immediate fields."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+    raw: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic} rd=x{self.rd} rs1=x{self.rs1} rs2=x{self.rs2} imm={self.imm}"
+
+
+# opcode constants
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+
+_BRANCH_F3 = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
+_LOAD_F3 = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
+_STORE_F3 = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_IMM_F3 = {
+    0b000: "addi",
+    0b010: "slti",
+    0b011: "sltiu",
+    0b100: "xori",
+    0b110: "ori",
+    0b111: "andi",
+}
+_REG_F3 = {
+    (0b000, 0b0000000): "add",
+    (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll",
+    (0b010, 0b0000000): "slt",
+    (0b011, 0b0000000): "sltu",
+    (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl",
+    (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or",
+    (0b111, 0b0000000): "and",
+    (0b000, 0b0000001): "mul",
+    (0b001, 0b0000001): "mulh",
+    (0b010, 0b0000001): "mulhsu",
+    (0b011, 0b0000001): "mulhu",
+    (0b100, 0b0000001): "div",
+    (0b101, 0b0000001): "divu",
+    (0b110, 0b0000001): "rem",
+    (0b111, 0b0000001): "remu",
+}
+_CSR_F3 = {
+    0b001: "csrrw",
+    0b010: "csrrs",
+    0b011: "csrrc",
+    0b101: "csrrwi",
+    0b110: "csrrsi",
+    0b111: "csrrci",
+}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word into an :class:`Instruction`."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OP_LUI:
+        return Instruction("lui", rd=rd, imm=sign_extend(word & 0xFFFFF000, 32), raw=word)
+    if opcode == OP_AUIPC:
+        return Instruction("auipc", rd=rd, imm=sign_extend(word & 0xFFFFF000, 32), raw=word)
+    if opcode == OP_JAL:
+        imm = (
+            ((word >> 31) & 1) << 20
+            | ((word >> 12) & 0xFF) << 12
+            | ((word >> 20) & 1) << 11
+            | ((word >> 21) & 0x3FF) << 1
+        )
+        return Instruction("jal", rd=rd, imm=sign_extend(imm, 21), raw=word)
+    if opcode == OP_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"bad jalr funct3 {funct3}")
+        return Instruction(
+            "jalr", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word
+        )
+    if opcode == OP_BRANCH:
+        if funct3 not in _BRANCH_F3:
+            raise DecodeError(f"bad branch funct3 {funct3}")
+        imm = (
+            ((word >> 31) & 1) << 12
+            | ((word >> 7) & 1) << 11
+            | ((word >> 25) & 0x3F) << 5
+            | ((word >> 8) & 0xF) << 1
+        )
+        return Instruction(
+            _BRANCH_F3[funct3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13), raw=word
+        )
+    if opcode == OP_LOAD:
+        if funct3 not in _LOAD_F3:
+            raise DecodeError(f"bad load funct3 {funct3}")
+        return Instruction(
+            _LOAD_F3[funct3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word
+        )
+    if opcode == OP_STORE:
+        if funct3 not in _STORE_F3:
+            raise DecodeError(f"bad store funct3 {funct3}")
+        imm = ((word >> 25) & 0x7F) << 5 | ((word >> 7) & 0x1F)
+        return Instruction(
+            _STORE_F3[funct3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 12), raw=word
+        )
+    if opcode == OP_IMM:
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise DecodeError("bad slli funct7")
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return Instruction("srli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            if funct7 == 0b0100000:
+                return Instruction("srai", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            raise DecodeError("bad shift-right funct7")
+        if funct3 not in _IMM_F3:
+            raise DecodeError(f"bad op-imm funct3 {funct3}")
+        return Instruction(
+            _IMM_F3[funct3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word
+        )
+    if opcode == OP_REG:
+        key = (funct3, funct7)
+        if key not in _REG_F3:
+            raise DecodeError(f"bad op funct3/funct7 {funct3}/{funct7:#x}")
+        return Instruction(_REG_F3[key], rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == OP_FENCE:
+        return Instruction("fence", raw=word)
+    if opcode == OP_SYSTEM:
+        if funct3 == 0:
+            imm12 = word >> 20
+            if imm12 == 0:
+                return Instruction("ecall", raw=word)
+            if imm12 == 1:
+                return Instruction("ebreak", raw=word)
+            if imm12 == 0b001100000010:
+                return Instruction("mret", raw=word)
+            if imm12 == 0b000100000101:
+                return Instruction("wfi", raw=word)
+            raise DecodeError(f"bad system imm {imm12:#x}")
+        if funct3 in _CSR_F3:
+            return Instruction(
+                _CSR_F3[funct3], rd=rd, rs1=rs1, csr=(word >> 20) & 0xFFF, raw=word
+            )
+        raise DecodeError(f"bad system funct3 {funct3}")
+    raise DecodeError(f"unknown opcode {opcode:#09b} in word {word:#010x}")
+
+
+# ---------------------------------------------------------------------------
+# Encoders (used by the assembler)
+# ---------------------------------------------------------------------------
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg <= 31:
+        raise DecodeError(f"register x{reg} out of range")
+    return reg
+
+
+def encode_r(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (
+        (funct7 << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_i(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    if not -2048 <= imm <= 2047:
+        raise DecodeError(f"I-immediate {imm} out of range")
+    return (
+        ((imm & 0xFFF) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+def encode_s(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    if not -2048 <= imm <= 2047:
+        raise DecodeError(f"S-immediate {imm} out of range")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def encode_b(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    if imm % 2:
+        raise DecodeError("branch offset must be even")
+    if not -4096 <= imm <= 4094:
+        raise DecodeError(f"B-immediate {imm} out of range")
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 1) << 7
+        | opcode
+    )
+
+
+def encode_u(imm: int, rd: int, opcode: int) -> int:
+    return (imm & 0xFFFFF000) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(imm: int, rd: int, opcode: int) -> int:
+    if imm % 2:
+        raise DecodeError("jump offset must be even")
+    if not -(1 << 20) <= imm <= (1 << 20) - 2:
+        raise DecodeError(f"J-immediate {imm} out of range")
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | (_check_reg(rd) << 7)
+        | opcode
+    )
+
+
+#: ABI register-name mapping (x0..x31 aliases).
+ABI_NAMES: Dict[str, int] = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+    "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def parse_register(name: str) -> int:
+    """Parse ``x7``/``a0``-style register names into indices."""
+    name = name.strip().lower()
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    if name.startswith("x"):
+        try:
+            idx = int(name[1:])
+        except ValueError as exc:
+            raise DecodeError(f"bad register {name!r}") from exc
+        if 0 <= idx <= 31:
+            return idx
+    raise DecodeError(f"bad register {name!r}")

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate for the Rosebud reproduction."""
+
+from .clock import (
+    Clock,
+    ROSEBUD_CLOCK,
+    WIRE_OVERHEAD_BYTES,
+    bus_cycles,
+    line_rate_gbps,
+    line_rate_pps,
+    max_effective_gbps,
+    serialization_ns,
+    wire_bytes,
+)
+from .kernel import Event, SimulationError, Simulator
+from .resources import BoundedFifo, PriorityArbiter, RoundRobinArbiter, SerialLink
+from .stats import Counter, CounterSet, Histogram, RateMeter, ThroughputSample
+
+__all__ = [
+    "Clock",
+    "ROSEBUD_CLOCK",
+    "WIRE_OVERHEAD_BYTES",
+    "bus_cycles",
+    "line_rate_gbps",
+    "line_rate_pps",
+    "max_effective_gbps",
+    "serialization_ns",
+    "wire_bytes",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "BoundedFifo",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+    "SerialLink",
+    "Counter",
+    "CounterSet",
+    "Histogram",
+    "RateMeter",
+    "ThroughputSample",
+]

@@ -1,0 +1,167 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a priority queue of timestamped events,
+plus a handful of conveniences (named processes, stop conditions, a
+monotonically increasing event sequence number so same-time events fire
+in schedule order).
+
+Time is kept in *cycles* of the Rosebud fabric clock by convention
+(250 MHz => 4 ns per cycle), but the kernel itself is unit-agnostic; the
+:mod:`repro.sim.clock` helpers convert between cycles, nanoseconds, and
+throughput figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used inconsistently (e.g. scheduling in
+    the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, seq)`` so that simultaneous events run in
+    the order they were scheduled, which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelled events stay in the heap but are skipped when popped;
+        this is O(1) and avoids heap surgery.
+        """
+        self.cancelled = True
+
+
+class Simulator:
+    """An event-driven simulator with deterministic ordering.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10, lambda: print("at t=10"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, name)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, name=name)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the final time.
+
+        When ``until`` is given, time is advanced to exactly ``until``
+        even if the last event fired earlier, mirroring how a testbench
+        runs for a fixed interval.
+        """
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event."""
+        self._stopped = True
+
+    def process(self, generator: Iterator[float], name: str = "") -> None:
+        """Drive a generator-based process.
+
+        The generator yields delays; after each yield the kernel waits
+        that many time units before resuming it.  This gives a light
+        cooperative-coroutine style for sequential behaviours::
+
+            def blinker():
+                while True:
+                    toggle()
+                    yield 5.0
+
+            sim.process(blinker())
+        """
+
+        def resume() -> None:
+            try:
+                delay = next(generator)
+            except StopIteration:
+                return
+            if delay < 0:
+                raise SimulationError(f"process {name!r} yielded negative delay")
+            self.schedule(delay, resume, name=name)
+
+        self.schedule(0.0, resume, name=name)

@@ -1,0 +1,171 @@
+"""Measurement primitives: counters, rate meters, histograms.
+
+These mirror the status counters Rosebud exposes to the host (bytes,
+frames, drops, stalled cycles per interface and per RPU, §4.3) plus the
+latency-sampling machinery the evaluation uses (§6.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class CounterSet:
+    """A named group of counters, like one interface's status block."""
+
+    def __init__(self, names: Optional[List[str]] = None) -> None:
+        self._counters: Dict[str, Counter] = {}
+        for name in names or []:
+            self._counters[name] = Counter(name)
+
+    def __getitem__(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self[name].add(amount)
+
+    def value(self, name: str) -> int:
+        return self[name].value
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+
+class Histogram:
+    """A streaming histogram with exact percentile support.
+
+    Stores raw samples; fine for the 1e4–1e6 sample counts our runs use.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile by nearest-rank on the sorted samples."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(0, math.ceil(pct / 100.0 * len(self._samples)) - 1)
+        return self._samples[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+
+@dataclass
+class RateMeter:
+    """Computes average rates over an observation window.
+
+    Feed it byte/packet completions, then ask for Gbps/MPPS given the
+    elapsed time.  This matches how the artifact's host utility reports
+    "RX bytes" averaged over the run.
+    """
+
+    bytes_total: int = 0
+    packets_total: int = 0
+    start_time: float = 0.0
+
+    def record_packet(self, nbytes: int) -> None:
+        self.bytes_total += nbytes
+        self.packets_total += 1
+
+    def gbps(self, elapsed_seconds: float) -> float:
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.bytes_total * 8 / elapsed_seconds / 1e9
+
+    def mpps(self, elapsed_seconds: float) -> float:
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.packets_total / elapsed_seconds / 1e6
+
+    def reset(self, now: float = 0.0) -> None:
+        self.bytes_total = 0
+        self.packets_total = 0
+        self.start_time = now
+
+
+@dataclass
+class ThroughputSample:
+    """One point on a throughput-vs-packet-size curve."""
+
+    packet_size: int
+    offered_gbps: float
+    achieved_gbps: float
+    achieved_mpps: float
+
+    @property
+    def fraction_of_offered(self) -> float:
+        if self.offered_gbps == 0:
+            return 0.0
+        return self.achieved_gbps / self.offered_gbps

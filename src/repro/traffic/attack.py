@@ -1,0 +1,100 @@
+"""Attack-trace synthesis (§7.1.3, Artifact D.6).
+
+The artifact generates a pcap from the ruleset (one packet per rule,
+carrying that rule's fast pattern and satisfying its port constraint)
+plus a few safe packets, then tcpreplays it into the background
+traffic.  These helpers build the same traces from our rulesets and
+blacklists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..accel.firewall import Prefix
+from ..accel.pigasus.ruleset import Rule
+from ..packet.builder import TCP_OVERHEAD, UDP_OVERHEAD, build_tcp, build_udp
+from ..packet.headers import int_to_ip
+from ..packet.packet import Packet
+
+
+def attack_trace_from_rules(
+    rules: Sequence[Rule],
+    packet_size: int = 1024,
+    safe_packets: int = 4,
+    seed: int = 5,
+) -> List[Packet]:
+    """One attack packet per rule + a few safe ones, like the artifact's
+    trace generator for the Pigasus case study."""
+    rng = random.Random(seed)
+    packets: List[Packet] = []
+    for rule in rules:
+        dst_port = rule.dst_ports.low if not rule.dst_ports.is_any else 80
+        src_port = rule.src_ports.low if not rule.src_ports.is_any else 1024 + rng.randrange(60000)
+        overhead = TCP_OVERHEAD if rule.protocol != "udp" else UDP_OVERHEAD
+        payload_len = max(len(rule.content) + 8, packet_size - overhead)
+        payload = (b"Z" * 4 + rule.content + b"Z" * payload_len)[:payload_len]
+        builder = build_udp if rule.protocol == "udp" else build_tcp
+        packets.append(
+            builder(
+                src_ip=f"172.16.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                dst_ip="10.201.0.1",
+                src_port=src_port,
+                dst_port=dst_port,
+                payload=payload,
+                pad_to=max(packet_size, overhead + payload_len),
+                is_attack=True,
+            )
+        )
+    for i in range(safe_packets):
+        packets.append(
+            build_tcp(
+                src_ip=f"172.17.0.{i + 1}",
+                dst_ip="10.201.0.1",
+                src_port=2000 + i,
+                dst_port=80,
+                payload=b"safe" * 8,
+                pad_to=packet_size,
+                is_attack=False,
+            )
+        )
+    return packets
+
+
+def firewall_trace(
+    prefixes: Sequence[Prefix],
+    packet_size: int = 1024,
+    safe_packets: int = 4,
+    seed: int = 9,
+) -> List[Packet]:
+    """The firewall case-study trace: one packet per blacklisted prefix
+    (1050 of them) plus ``safe_packets`` clean ones (Artifact D.6)."""
+    rng = random.Random(seed)
+    packets: List[Packet] = []
+    for prefix in prefixes:
+        # pick a concrete source address inside the prefix
+        host_bits = 32 - prefix.length
+        ip = prefix.network | (rng.randrange(1 << host_bits) if host_bits else 0)
+        packets.append(
+            build_tcp(
+                src_ip=int_to_ip(ip),
+                dst_ip="10.201.0.1",
+                src_port=1024 + rng.randrange(60000),
+                dst_port=443,
+                pad_to=packet_size,
+                is_attack=True,
+            )
+        )
+    for i in range(safe_packets):
+        packets.append(
+            build_tcp(
+                src_ip=f"10.55.0.{i + 1}",  # RFC1918: never blacklisted
+                dst_ip="10.201.0.1",
+                src_port=3000 + i,
+                dst_port=443,
+                pad_to=packet_size,
+                is_attack=False,
+            )
+        )
+    return packets

@@ -1,0 +1,122 @@
+"""Stateful TCP flow traffic with controlled reordering (§7.1.3).
+
+The IPS evaluation plays TCP flows with 0.3 % of packets reordered (the
+"typical reordering happening for middlebox traffic") and 1 % attack
+traffic mixed in.  :class:`FlowTrafficSource` maintains real per-flow
+sequence numbers so the software-reordering firmware's flow table is
+exercised honestly: in-order delivery, swapped pairs (reordering), and
+flow expiry all occur.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from ..core.system import RosebudSystem
+from ..packet.builder import TCP_OVERHEAD, build_tcp
+from ..packet.packet import Packet
+from .generator import TrafficSource
+
+
+class _Flow:
+    """Per-flow generator state."""
+
+    __slots__ = ("flow_id", "src_ip", "dst_ip", "src_port", "dst_port", "seq")
+
+    def __init__(self, flow_id: int, src_ip: str, dst_ip: str, src_port: int, dst_port: int) -> None:
+        self.flow_id = flow_id
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = 1
+
+
+class FlowTrafficSource(TrafficSource):
+    """TCP flows + attack mix + reordering.
+
+    * ``attack_fraction`` of packets carry one of ``attack_payloads``
+      (fast patterns from the ruleset) in their payload.
+    * ``reorder_fraction`` of packets are emitted one position late,
+      swapping with their successor in the same flow.
+    """
+
+    def __init__(
+        self,
+        system: RosebudSystem,
+        port: int,
+        offered_gbps: float,
+        packet_size: int,
+        n_flows: int = 256,
+        attack_fraction: float = 0.0,
+        attack_payloads: Sequence[bytes] = (),
+        reorder_fraction: float = 0.0,
+        n_packets: Optional[int] = None,
+        seed: int = 3,
+        respect_generator_cap: bool = True,
+    ) -> None:
+        super().__init__(system, port, offered_gbps, n_packets, respect_generator_cap)
+        if attack_fraction > 0 and not attack_payloads:
+            raise ValueError("attack traffic requested but no payloads supplied")
+        if packet_size < TCP_OVERHEAD + 8:
+            raise ValueError(f"packet size {packet_size} too small for flow traffic")
+        self.packet_size = packet_size
+        self.attack_fraction = attack_fraction
+        self.attack_payloads = list(attack_payloads)
+        self.reorder_fraction = reorder_fraction
+        self.rng = random.Random(seed)
+        self.flows: List[_Flow] = [
+            _Flow(
+                flow_id=i,
+                src_ip=f"10.{port}.{i // 250}.{i % 250 + 1}",
+                dst_ip="10.201.0.1",
+                src_port=1024 + self.rng.randrange(60000),
+                dst_port=self.rng.choice([80, 443, 8080, 25]),
+            )
+            for i in range(n_flows)
+        ]
+        self._pending: Deque[Packet] = deque()
+        self.attack_sent = 0
+        self.reordered = 0
+
+    def _build(self, flow: _Flow, attack: bool) -> Packet:
+        payload_len = self.packet_size - TCP_OVERHEAD
+        if attack:
+            pattern = self.rng.choice(self.attack_payloads)
+            filler = b"A" * max(0, payload_len - len(pattern) - 2)
+            payload = b"x" + pattern + filler
+            payload = payload[:payload_len]
+        else:
+            payload = b"s" * payload_len
+        packet = build_tcp(
+            src_ip=flow.src_ip,
+            dst_ip=flow.dst_ip,
+            src_port=flow.src_port,
+            dst_port=flow.dst_port,
+            seq=flow.seq,
+            payload=payload,
+            pad_to=self.packet_size,
+            is_attack=attack,
+            flow_id=flow.flow_id,
+            seq_index=flow.seq,
+        )
+        flow.seq += len(payload)
+        return packet
+
+    def next_packet(self) -> Packet:
+        if self._pending:
+            return self._pending.popleft()
+        flow = self.rng.choice(self.flows)
+        attack = self.rng.random() < self.attack_fraction
+        if attack:
+            self.attack_sent += 1
+        packet = self._build(flow, attack)
+        if self.rng.random() < self.reorder_fraction:
+            # emit the *next* packet of this flow first, this one after
+            successor = self._build(flow, False)
+            self._pending.append(packet)
+            self.reordered += 1
+            return successor
+        return packet

@@ -1,0 +1,254 @@
+"""Tests for the Pigasus accelerators: ruleset, Aho-Corasick, matchers,
+rule packer, runtime table loading."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel.pigasus import (
+    AhoCorasick,
+    PigasusPortMatcher,
+    PigasusStringMatcher,
+    PortSpec,
+    Rule,
+    RulesetError,
+    extract_appended_rule_ids,
+    generate_ruleset,
+    pack_rule_ids,
+    parse_rules,
+    unpack_rule_ids,
+)
+
+
+class TestRuleParsing:
+    def test_basic_rule(self):
+        rules = parse_rules(
+            'alert tcp any any -> any 80 (msg:"test"; content:"evil"; sid:1001;)'
+        )
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.sid == 1001
+        assert rule.content == b"evil"
+        assert rule.protocol == "tcp"
+        assert rule.dst_ports.matches(80)
+        assert not rule.dst_ports.matches(81)
+
+    def test_hex_escapes_in_content(self):
+        rules = parse_rules(
+            'alert tcp any any -> any any (content:"ab|0d 0a|cd"; sid:1;)'
+        )
+        assert rules[0].content == b"ab\r\ncd"
+
+    def test_port_range(self):
+        rules = parse_rules(
+            'alert udp any 1024: -> any 53 (content:"xyzt"; sid:2;)'
+        )
+        assert rules[0].src_ports.matches(60000)
+        assert not rules[0].src_ports.matches(80)
+
+    def test_missing_sid_rejected(self):
+        with pytest.raises(RulesetError):
+            parse_rules('alert tcp any any -> any any (content:"abcd";)')
+
+    def test_missing_content_rejected(self):
+        with pytest.raises(RulesetError):
+            parse_rules("alert tcp any any -> any any (sid:5;)")
+
+    def test_short_pattern_rejected(self):
+        with pytest.raises(RulesetError):
+            parse_rules('alert tcp any any -> any any (content:"x"; sid:5;)')
+
+    def test_unsupported_syntax_rejected(self):
+        with pytest.raises(RulesetError):
+            parse_rules("this is not a rule")
+
+    def test_generated_ruleset_round_trips(self):
+        rules = parse_rules(generate_ruleset(200))
+        assert len(rules) == 200
+        assert len({r.sid for r in rules}) == 200
+        assert len({r.content for r in rules}) == 200
+
+    def test_generated_deterministic(self):
+        assert generate_ruleset(30) == generate_ruleset(30)
+
+    def test_portspec_parse(self):
+        assert PortSpec.parse("any").is_any
+        assert PortSpec.parse("80") == PortSpec(80, 80)
+        assert PortSpec.parse("1000:2000") == PortSpec(1000, 2000)
+        assert PortSpec.parse(":512") == PortSpec(0, 512)
+
+
+class TestAhoCorasick:
+    def test_single_pattern(self):
+        ac = AhoCorasick({b"needle": 1})
+        assert [pid for _, pid in ac.search(b"hay needle hay")] == [1]
+
+    def test_overlapping_patterns(self):
+        ac = AhoCorasick({b"abc": 1, b"bcd": 2})
+        hits = [pid for _, pid in ac.search(b"xabcdx")]
+        assert hits == [1, 2]
+
+    def test_pattern_inside_pattern(self):
+        ac = AhoCorasick({b"ab": 1, b"abab": 2})
+        hits = [pid for _, pid in ac.search(b"abab")]
+        assert hits == [1, 1, 2]
+
+    def test_no_match(self):
+        ac = AhoCorasick({b"zz": 1})
+        assert ac.search(b"aaaa") == []
+
+    def test_match_at_start_and_end(self):
+        ac = AhoCorasick({b"go": 1})
+        assert len(ac.search(b"go stop go")) == 2
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick({b"": 1})
+
+    def test_no_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick({})
+
+    @given(
+        st.lists(st.binary(min_size=2, max_size=6), min_size=1, max_size=8, unique=True),
+        st.binary(max_size=100),
+    )
+    def test_matches_equal_naive_search(self, patterns, haystack):
+        ac = AhoCorasick({p: i for i, p in enumerate(patterns)})
+        got = sorted(set(pid for _, pid in ac.search(haystack)))
+        expected = sorted(i for i, p in enumerate(patterns) if p in haystack)
+        assert got == expected
+
+
+class TestStringMatcher:
+    @pytest.fixture(scope="class")
+    def rules(self):
+        return parse_rules(generate_ruleset(80))
+
+    def test_unloaded_tables_raise(self):
+        """Uninitialized URAMs: the matcher is unusable until the host
+        fills its tables at runtime (§7.1.2)."""
+        matcher = PigasusStringMatcher()
+        assert not matcher.ready
+        with pytest.raises(RuntimeError):
+            matcher.scan(b"anything")
+
+    def test_load_rules_returns_cycles(self, rules):
+        matcher = PigasusStringMatcher()
+        cycles = matcher.load_rules(rules)
+        assert cycles > 0
+        assert matcher.ready
+
+    def test_scan_finds_pattern(self, rules):
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules)
+        rule = next(r for r in rules if r.dst_ports.is_any)
+        sids = matcher.scan(b"xx" + rule.content + b"yy", "tcp", 1, 9999)
+        assert rule.sid in sids
+
+    def test_port_filter_applies(self, rules):
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules)
+        rule = next(r for r in rules if not r.dst_ports.is_any and r.dst_ports.low == 80)
+        assert rule.sid in matcher.scan(rule.content, "tcp", 1, 80)
+        assert rule.sid not in matcher.scan(rule.content, "tcp", 1, 12345)
+
+    def test_protocol_filter_applies(self, rules):
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules)
+        rule = next(r for r in rules if r.protocol == "udp" and r.dst_ports.is_any)
+        assert rule.sid in matcher.scan(rule.content, "udp", 1, 1)
+        assert rule.sid not in matcher.scan(rule.content, "tcp", 1, 1)
+
+    def test_runtime_rule_update(self, rules):
+        """The Rosebud-enabled feature: swap rulesets without reload."""
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules[:10])
+        generation = matcher.table_generation
+        new_rule = Rule(sid=9999, protocol="tcp", src_ports=PortSpec(),
+                        dst_ports=PortSpec(), content=b"freshpattern")
+        matcher.load_rules([new_rule])
+        assert matcher.table_generation == generation + 1
+        assert matcher.scan(b"..freshpattern..", "tcp", 1, 1) == [9999]
+        old = rules[0]
+        assert matcher.scan(old.content, "tcp", 1, 80) == []
+
+    def test_scan_cycles_16_bytes_per_cycle(self):
+        matcher = PigasusStringMatcher()
+        assert matcher.scan_cycles(16) == 1
+        assert matcher.scan_cycles(17) == 2
+        assert matcher.scan_cycles(1024) == 64
+        assert matcher.scan_cycles(0) == 1
+
+    def test_duplicate_sids_in_one_packet_deduped(self, rules):
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules)
+        rule = next(r for r in rules if r.dst_ports.is_any)
+        sids = matcher.scan(rule.content * 3, "tcp", 1, 1)
+        assert sids.count(rule.sid) == 1
+
+    def test_stats_accumulate(self, rules):
+        matcher = PigasusStringMatcher()
+        matcher.load_rules(rules)
+        matcher.scan(b"x" * 100, "tcp", 1, 1)
+        assert matcher.packets_scanned == 1
+        assert matcher.bytes_scanned == 100
+
+
+class TestPortMatcher:
+    @pytest.fixture(scope="class")
+    def rules(self):
+        return parse_rules(generate_ruleset(80))
+
+    def test_unloaded_raises(self):
+        matcher = PigasusPortMatcher()
+        with pytest.raises(RuntimeError):
+            matcher.candidates("tcp", 1, 2)
+
+    def test_candidates_match_bruteforce(self, rules):
+        matcher = PigasusPortMatcher()
+        matcher.load_rules(rules)
+        for proto, sport, dport in [("tcp", 1000, 80), ("udp", 5, 53), ("tcp", 1, 9999)]:
+            got = {r.sid for r in matcher.candidates(proto, sport, dport)}
+            expected = {r.sid for r in rules if r.matches_ports(proto, sport, dport)}
+            assert got == expected
+
+    def test_non_transport_protocol_empty(self, rules):
+        matcher = PigasusPortMatcher()
+        matcher.load_rules(rules)
+        assert matcher.candidates("icmp", 0, 0) == []
+
+    def test_wide_ranges_treated_as_any(self):
+        rule = Rule(sid=1, protocol="tcp", src_ports=PortSpec(0, 65535),
+                    dst_ports=PortSpec(1024, 65535), content=b"abcd")
+        matcher = PigasusPortMatcher()
+        matcher.load_rules([rule])
+        assert [r.sid for r in matcher.candidates("tcp", 5, 2000)] == [1]
+        assert matcher.candidates("tcp", 5, 80) == []
+
+
+class TestRulePacker:
+    def test_round_trip(self):
+        blob = pack_rule_ids([5, 1000, 2**31])
+        assert unpack_rule_ids(blob) == [5, 1000, 2**31]
+
+    def test_zero_terminated(self):
+        blob = pack_rule_ids([7])
+        assert blob.endswith(b"\x00\x00\x00\x00")
+
+    def test_zero_sid_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rule_ids([0])
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_rule_ids(b"\x01\x00\x00\x00")
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_rule_ids(b"\x01\x00\x00")
+
+    def test_extract_from_packet_aligns(self):
+        payload = b"P" * 123  # unaligned original length
+        appended = pack_rule_ids([42])
+        data = payload + b"\x00" * (124 - 123) + appended
+        assert extract_appended_rule_ids(data, 123) == [42]

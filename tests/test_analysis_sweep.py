@@ -1,0 +1,85 @@
+"""Tests for the sweep runner and its CSV artifacts."""
+
+import pytest
+
+from repro.analysis.sweep import Sweep, SweepResult
+
+
+def _fake_experiment(size, rpus):
+    return {"gbps": size * rpus / 10.0, "note": f"{rpus}rpu"}
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = Sweep.grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(points) == 6
+        assert {"a": 2, "b": "y"} in points
+
+    def test_single_axis(self):
+        assert Sweep.grid(size=[64, 128]) == [{"size": 64}, {"size": 128}]
+
+
+class TestSweep:
+    def test_rows_merge_params_and_results(self):
+        sweep = Sweep(_fake_experiment)
+        result = sweep.run(Sweep.grid(size=[64, 128], rpus=[8, 16]))
+        assert len(result.rows) == 4
+        assert result.columns == ["size", "rpus", "gbps", "note"]
+        assert result.filtered(size=64, rpus=8)[0]["gbps"] == pytest.approx(51.2)
+
+    def test_column_extraction(self):
+        result = Sweep(_fake_experiment).run(Sweep.grid(size=[64], rpus=[8, 16]))
+        assert result.column("rpus") == [8, 16]
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_on_point_callback(self):
+        seen = []
+        sweep = Sweep(_fake_experiment, on_point=seen.append)
+        sweep.run(Sweep.grid(size=[64], rpus=[8]))
+        assert len(seen) == 1 and seen[0]["gbps"] > 0
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(_fake_experiment).run([])
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        result = Sweep(_fake_experiment).run(Sweep.grid(size=[64, 128], rpus=[8]))
+        path = result.to_csv(tmp_path / "sweep.csv")
+        back = SweepResult.from_csv(path)
+        assert back.columns == result.columns
+        assert back.column("size") == [64, 128]
+        assert back.column("gbps") == [pytest.approx(51.2), pytest.approx(102.4)]
+        assert back.column("note") == ["8rpu", "8rpu"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        result = Sweep(_fake_experiment).run(Sweep.grid(size=[64], rpus=[8]))
+        path = result.to_csv(tmp_path / "deep" / "dir" / "sweep.csv")
+        assert path.exists()
+
+
+class TestWithRealExperiment:
+    def test_forwarding_sweep_end_to_end(self, tmp_path):
+        from repro.analysis import forwarding_experiment
+        from repro.firmware import ForwarderFirmware
+
+        def experiment(size, rpus):
+            result = forwarding_experiment(
+                rpus, size, 200, ForwarderFirmware,
+                warmup_packets=300, measure_packets=800,
+            )
+            return {
+                "gbps": result.achieved_gbps,
+                "fraction": result.fraction_of_line,
+            }
+
+        sweep = Sweep(experiment)
+        result = sweep.run(Sweep.grid(size=[512, 1024], rpus=[8, 16]))
+        result.to_csv(tmp_path / "fwd.csv")
+        # 16-RPU >= 8-RPU at every size
+        for size in (512, 1024):
+            r8 = result.filtered(size=size, rpus=8)[0]
+            r16 = result.filtered(size=size, rpus=16)[0]
+            assert r16["gbps"] >= r8["gbps"] - 1.0

@@ -1,0 +1,126 @@
+"""Tests for the mechanistic CPU model and host-side full matching."""
+
+import pytest
+
+from repro.accel.pigasus import generate_ruleset, parse_rules
+from repro.accel.pigasus.ruleset import PortSpec, Rule
+from repro.baselines import CpuIdsModel, HostFullMatcher
+from repro.core import RosebudConfig, RosebudSystem
+from repro.firmware import PigasusHwReorderFirmware
+from repro.packet import build_tcp
+
+
+class TestCpuIdsModel:
+    def test_plateau_matches_paper(self):
+        model = CpuIdsModel()
+        assert model.peak_mpps(64) == pytest.approx(5.6, rel=0.01)
+        assert model.peak_mpps(2048) == pytest.approx(4.7, rel=0.01)
+
+    def test_nearly_flat_in_size(self):
+        model = CpuIdsModel()
+        assert model.peak_mpps(64) / model.peak_mpps(2048) < 1.25
+
+    def test_ramdisk_delta_matches_paper(self):
+        """60 -> 70 Gbps at 2048 B when AF_PACKET is removed."""
+        normal = CpuIdsModel()
+        ramdisk = CpuIdsModel(ramdisk=True)
+        ratio = ramdisk.throughput_gbps(2048) / normal.throughput_gbps(2048)
+        assert ratio == pytest.approx(70 / 60, rel=0.02)
+
+    def test_afpacket_not_primary_bottleneck(self):
+        """The paper's conclusion from the ramdisk run: the kernel path
+        is a minor share of the per-packet cost."""
+        shares = CpuIdsModel().bottleneck_share(2048)
+        assert shares["af_packet"] < 0.2
+        assert shares["parse_dispatch"] > shares["af_packet"]
+
+    def test_scan_share_grows_with_size(self):
+        model = CpuIdsModel()
+        assert (
+            model.bottleneck_share(2048)["hyperscan"]
+            > model.bottleneck_share(64)["hyperscan"]
+        )
+
+    def test_more_cores_scale_linearly(self):
+        half = CpuIdsModel(cores=16)
+        full = CpuIdsModel(cores=32)
+        assert full.peak_mpps(800) == pytest.approx(2 * half.peak_mpps(800))
+
+
+def _rule_with_extra():
+    return Rule(
+        sid=5000, protocol="tcp", src_ports=PortSpec(), dst_ports=PortSpec(),
+        content=b"fastpat", extra_contents=(b"confirm-me",),
+    )
+
+
+class TestHostFullMatcher:
+    def test_confirms_complete_match(self):
+        rule = _rule_with_extra()
+        matcher = HostFullMatcher([rule])
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80,
+                        payload=b"x fastpat y confirm-me z", pad_to=256)
+        pkt.rule_ids = [5000]
+        verdict = matcher.verify(pkt)
+        assert verdict.confirmed_sids == [5000]
+        assert verdict.is_alert
+
+    def test_refutes_fast_pattern_false_positive(self):
+        """Fast pattern present but the extra content missing: the
+        hardware punts it, the host refutes it."""
+        rule = _rule_with_extra()
+        matcher = HostFullMatcher([rule])
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80,
+                        payload=b"x fastpat but nothing else", pad_to=256)
+        pkt.rule_ids = [5000]
+        verdict = matcher.verify(pkt)
+        assert not verdict.is_alert
+        assert verdict.refuted_sids == [5000]
+        assert matcher.false_positive_rate == 1.0
+
+    def test_unknown_sid_refuted(self):
+        matcher = HostFullMatcher([_rule_with_extra()])
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, payload=b"x", pad_to=128)
+        pkt.rule_ids = [999]
+        assert not matcher.verify(pkt).is_alert
+
+    def test_port_recheck(self):
+        rule = Rule(sid=6000, protocol="tcp", src_ports=PortSpec(),
+                    dst_ports=PortSpec(443, 443), content=b"abcd")
+        matcher = HostFullMatcher([rule])
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, payload=b"abcd", pad_to=128)
+        pkt.rule_ids = [6000]
+        assert not matcher.verify(pkt).is_alert
+
+    def test_generated_ruleset_has_multi_content_rules(self):
+        rules = parse_rules(generate_ruleset(200))
+        assert any(rule.extra_contents for rule in rules)
+
+    def test_end_to_end_punt_and_verify(self):
+        """FPGA fast-pattern punt -> host full verification, through
+        the system simulator."""
+        rules = parse_rules(generate_ruleset(150))
+        multi = next(r for r in rules if r.extra_contents and r.dst_ports.is_any)
+        system = RosebudSystem(
+            RosebudConfig(n_rpus=8, slots_per_rpu=32),
+            PigasusHwReorderFirmware(rules),
+        )
+        # fast pattern present, extra content absent: a hardware false
+        # positive the host must catch
+        fp = build_tcp("1.1.1.1", "2.2.2.2", 1, 80,
+                       payload=b"_" + multi.content + b"_", pad_to=512)
+        # complete attack: both contents present
+        real = build_tcp("1.1.1.1", "2.2.2.2", 2, 80,
+                         payload=multi.content + b" " + multi.extra_contents[0],
+                         pad_to=512)
+        system.offer_packet(0, fp)
+        system.offer_packet(0, real)
+        system.sim.run()
+        assert system.counters.value("to_host") == 2  # both punted
+
+        host_matcher = HostFullMatcher(rules)
+        verdicts = host_matcher.verify_all(system.host_rx)
+        alerts = [v for v in verdicts if v.is_alert]
+        assert len(alerts) == 1
+        assert multi.sid in alerts[0].confirmed_sids
+        assert host_matcher.false_positives == 1

@@ -1,0 +1,130 @@
+"""Tests for heterogeneous RPU processing chains (§4.4)."""
+
+import pytest
+
+from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from repro.accel.pigasus import generate_ruleset, parse_rules
+from repro.core import RosebudConfig, RosebudSystem
+from repro.firmware import (
+    FirewallFirmware,
+    ForwarderFirmware,
+    PigasusHwReorderFirmware,
+)
+from repro.firmware.chain_fw import ChainStageFirmware, build_chain
+from repro.packet import build_tcp, int_to_ip
+
+
+@pytest.fixture(scope="module")
+def blacklist():
+    return parse_blacklist(generate_blacklist(100))
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return parse_rules(generate_ruleset(40))
+
+
+def _fw_ids_chain(blacklist, rules, n_rpus=8):
+    """First half: firewall stages; second half: IDS stages."""
+    matcher = IpBlacklistMatcher(blacklist)
+    half = n_rpus // 2
+    stages = [
+        [FirewallFirmware(matcher) for _ in range(half)],
+        [PigasusHwReorderFirmware(rules) for _ in range(half)],
+    ]
+    firmwares = build_chain(stages)
+    config = RosebudConfig(n_rpus=n_rpus, slots_per_rpu=32)
+    system = RosebudSystem(config, firmwares)
+    # only the first stage receives wire traffic
+    system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << half) - 1)
+    return system
+
+
+class TestBuildChain:
+    def test_indices_wired_in_order(self):
+        stages = [[ForwarderFirmware() for _ in range(2)],
+                  [ForwarderFirmware() for _ in range(2)]]
+        firmwares = build_chain(stages)
+        assert firmwares[0].next_rpu == 2
+        assert firmwares[1].next_rpu == 3
+        assert firmwares[2].next_rpu is None
+        assert firmwares[3].next_rpu is None
+
+    def test_uneven_stage_widths_wrap(self):
+        stages = [[ForwarderFirmware() for _ in range(4)],
+                  [ForwarderFirmware() for _ in range(2)]]
+        firmwares = build_chain(stages)
+        assert [fw.next_rpu for fw in firmwares[:4]] == [4, 5, 4, 5]
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            build_chain([[], [ForwarderFirmware()]])
+
+    def test_wrong_count_rejected_by_system(self):
+        with pytest.raises(ValueError):
+            RosebudSystem(RosebudConfig(n_rpus=4), [ForwarderFirmware()] * 3)
+
+
+class TestFirewallIdsChain:
+    def test_clean_traffic_traverses_both_stages(self, blacklist, rules):
+        system = _fw_ids_chain(blacklist, rules)
+        pkt = build_tcp("10.3.3.3", "10.4.4.4", 5, 80, payload=b"all good", pad_to=256)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        assert system.counters.value("delivered") == 1
+        assert system.counters.value("loopbacked") == 1
+        counts = system.rpu_packet_counts()
+        assert sum(counts[:4]) == 1 and sum(counts[4:]) == 1
+
+    def test_blacklisted_dropped_at_first_stage(self, blacklist, rules):
+        system = _fw_ids_chain(blacklist, rules)
+        bad_ip = int_to_ip(blacklist[0].network)
+        system.offer_packet(0, build_tcp(bad_ip, "10.4.4.4", 5, 80, pad_to=256))
+        system.sim.run()
+        assert system.counters.value("dropped_by_firmware") == 1
+        assert system.counters.value("loopbacked") == 0
+        assert sum(system.rpu_packet_counts()[4:]) == 0  # IDS never saw it
+
+    def test_attack_caught_at_second_stage(self, blacklist, rules):
+        system = _fw_ids_chain(blacklist, rules)
+        rule = next(r for r in rules if r.protocol == "tcp" and r.dst_ports.matches(80))
+        pkt = build_tcp("10.3.3.3", "10.4.4.4", 5, 80,
+                        payload=b">>" + rule.content + b"<<", pad_to=256)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        assert system.counters.value("to_host") == 1
+        assert system.host_rx[0].rule_ids == [rule.sid]
+
+    def test_chain_conserves_under_load(self, blacklist, rules):
+        system = _fw_ids_chain(blacklist, rules)
+        n = 60
+        for i in range(n):
+            system.offer_packet(
+                i % 2, build_tcp("10.3.3.3", "10.4.4.4", i + 1, 80, pad_to=256)
+            )
+        system.sim.run()
+        accounted = (
+            system.counters.value("delivered")
+            + system.counters.value("to_host")
+            + system.counters.value("dropped_by_firmware")
+        )
+        assert accounted == n
+        assert all(system.lb.slots.occupancy(r) == 0 for r in range(8))
+
+    def test_three_stage_chain(self, blacklist, rules):
+        matcher = IpBlacklistMatcher(blacklist)
+        stages = [
+            [FirewallFirmware(matcher) for _ in range(2)],
+            [PigasusHwReorderFirmware(rules) for _ in range(2)],
+            [ForwarderFirmware() for _ in range(2)],
+        ]
+        system = RosebudSystem(
+            RosebudConfig(n_rpus=6, rpus_per_cluster=2, slots_per_rpu=32),
+            build_chain(stages),
+        )
+        system.lb.host_write(system.lb.REG_ENABLE_MASK, 0b000011)
+        pkt = build_tcp("10.3.3.3", "10.4.4.4", 5, 80, pad_to=256)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        assert system.counters.value("delivered") == 1
+        assert system.counters.value("loopbacked") == 2  # two hops

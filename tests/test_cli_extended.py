@@ -1,0 +1,59 @@
+"""Tests for the extended CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestNatCommand:
+    def test_nat_point(self, capsys):
+        assert main([
+            "nat", "--rpus", "8", "--size", "512",
+            "--warmup", "300", "--packets", "800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NAT middlebox" in out and "translated" in out
+
+
+class TestLoopbackCommand:
+    def test_loopback_point(self, capsys):
+        assert main([
+            "loopback", "--rpus", "16", "--size", "128",
+            "--warmup", "400", "--packets", "1200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "loopback" in out
+
+
+class TestDisasmCommand:
+    def test_builtin_forwarder(self, capsys):
+        assert main(["disasm", "forwarder"]) == 0
+        out = capsys.readouterr().out
+        assert "xori" in out and "lui" in out
+
+    def test_rfw_file(self, tmp_path, capsys):
+        image_path = tmp_path / "fw.rfw"
+        assert main(["image", "firewall", "--out", str(image_path)]) == 0
+        capsys.readouterr()
+        assert main(["disasm", str(image_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lhu" in out  # the ethertype load
+
+
+class TestImageCommand:
+    def test_builds_loadable_image(self, tmp_path, capsys):
+        from repro.core.funcsim import FunctionalRpu
+        from repro.packet import build_tcp
+        from repro.riscv.image import FirmwareImage, load_into_rpu
+
+        image_path = tmp_path / "fwd.rfw"
+        assert main(["image", "forwarder", "--out", str(image_path)]) == 0
+        image = FirmwareImage.from_bytes(image_path.read_bytes())
+        rpu = FunctionalRpu("nop\nebreak")
+        load_into_rpu(image, rpu)
+        rpu.push_packet(build_tcp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=64).data)
+        rpu.run_until_sent(1)
+        assert rpu.sent[0].port == 1
+
+    def test_unknown_firmware(self, capsys):
+        assert main(["image", "bogus"]) == 1

@@ -1,0 +1,124 @@
+"""Tests for the RPU memory subsystem (Figure 3 port policy)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MemoryAccessError, RosebudConfig, RpuMemorySubsystem
+from repro.core.memory import BRAM_LATENCY, DualPortRam, URAM_LATENCY
+
+
+class TestDualPortRam:
+    def test_storage_round_trip(self):
+        ram = DualPortRam(1024, 1, "x")
+        ram.write(100, b"hello")
+        assert ram.read(100, 5) == b"hello"
+
+    def test_out_of_range_read(self):
+        ram = DualPortRam(64, 1, "x")
+        with pytest.raises(MemoryAccessError):
+            ram.read(60, 8)
+
+    def test_out_of_range_write(self):
+        ram = DualPortRam(64, 1, "x")
+        with pytest.raises(MemoryAccessError):
+            ram.write(63, b"ab")
+
+    def test_access_returns_latency(self):
+        ram = DualPortRam(64, 3, "x")
+        assert ram.access("p", cycle=10) == 13
+
+    def test_same_port_back_to_back_stalls(self):
+        ram = DualPortRam(64, 1, "x")
+        first = ram.access("p", cycle=0, nbytes=32)  # 4 beats
+        second = ram.access("p", cycle=0, nbytes=4)
+        assert second > first - 1  # queued behind the burst
+        assert ram.port_stats["p"].stall_cycles > 0
+
+    def test_different_ports_independent(self):
+        ram = DualPortRam(64, 1, "x")
+        ram.access("a", cycle=0, nbytes=64)
+        done_b = ram.access("b", cycle=0, nbytes=4)
+        assert done_b == 1  # no stall on the other port
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), max_size=20))
+    def test_port_time_monotone(self, sizes):
+        ram = DualPortRam(1024, 1, "x")
+        previous = 0
+        for nbytes in sizes:
+            done = ram.access("p", cycle=0, nbytes=nbytes)
+            assert done >= previous
+            previous = done
+
+
+class TestPacketPath:
+    @pytest.fixture()
+    def mem(self):
+        return RpuMemorySubsystem(RosebudConfig(n_rpus=16))
+
+    def test_dma_packet_in_and_read_back(self, mem):
+        payload = bytes(range(200)) * 3
+        mem.dma_packet_in(2, payload)
+        assert mem.packet_slot(2, len(payload)) == payload
+
+    def test_header_copied_to_core_local(self, mem):
+        payload = bytes(range(256))
+        mem.dma_packet_in(0, payload)
+        header = mem.header_slot(0)
+        assert header == payload[: mem.config.header_slot_bytes]
+
+    def test_slots_do_not_overlap(self, mem):
+        mem.dma_packet_in(0, b"A" * 64)
+        mem.dma_packet_in(1, b"B" * 64)
+        assert mem.packet_slot(0, 64) == b"A" * 64
+        assert mem.packet_slot(1, 64) == b"B" * 64
+
+    def test_oversized_packet_rejected(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.dma_packet_in(0, b"x" * (mem.config.slot_bytes + 1))
+
+    def test_bad_slot_rejected(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.dma_packet_in(99, b"x")
+
+
+class TestPortPolicy:
+    @pytest.fixture()
+    def mem(self):
+        return RpuMemorySubsystem(RosebudConfig(n_rpus=16))
+
+    def test_core_local_is_single_cycle(self, mem):
+        assert mem.core_read_dmem(0, cycle=5) == 5 + BRAM_LATENCY
+
+    def test_core_pmem_access_never_stalls(self, mem):
+        """Core has priority on the shared packet-memory port (§4.1)."""
+        mem.dma_packet_in(0, b"x" * 4096)  # DMA burst in flight
+        done = mem.core_access_pmem(0, cycle=0)
+        assert done == URAM_LATENCY  # no stall despite the DMA burst
+
+    def test_accel_streaming_rate(self, mem):
+        # 1024 bytes at 16B/cycle behind the URAM latency
+        done = mem.accel_stream_pmem(0, 1024, cycle=0)
+        assert done == URAM_LATENCY + 64
+
+    def test_accel_table_port_exclusive_at_runtime(self, mem):
+        mem.set_accelerators_active(True)
+        with pytest.raises(MemoryAccessError):
+            mem.load_accel_table(0, b"table")
+
+    def test_table_load_at_boot(self, mem):
+        mem.load_accel_table(0x40, b"\x01\x02\x03\x04")
+        assert mem.readback_accel_table(0x40, 4) == b"\x01\x02\x03\x04"
+
+    def test_readback_requires_idle(self, mem):
+        mem.load_accel_table(0, b"zz")
+        mem.set_accelerators_active(True)
+        with pytest.raises(MemoryAccessError):
+            mem.readback_accel_table(0, 2)
+
+    def test_contention_report(self, mem):
+        mem.dma_packet_in(0, b"x" * 128)
+        mem.core_read_dmem(0)
+        report = mem.contention_report()
+        assert "pmem.dma_shared" in report
+        assert "dmem.core" in report
+        assert report["pmem.dma_shared"]["bytes"] == 128

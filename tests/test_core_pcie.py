@@ -1,0 +1,159 @@
+"""Tests for PCIe host DMA, virtual Ethernet, and watchdogs."""
+
+import pytest
+
+from repro.core import (
+    HostInterface,
+    RosebudConfig,
+    RosebudSystem,
+)
+from repro.core.firmware_api import ACTION_FORWARD, FirmwareModel, FirmwareResult
+from repro.core.pcie import DRAM_TAGS, HostDmaEngine, PCIE_LATENCY_US
+from repro.firmware import ForwarderFirmware
+from repro.packet import build_tcp
+from repro.sim import Simulator
+
+
+def _pkt(size=256, sport=1):
+    return build_tcp("10.0.0.1", "10.0.0.2", sport, 80, pad_to=size)
+
+
+class TestHostDma:
+    def _engine(self):
+        sim = Simulator()
+        return sim, HostDmaEngine(sim, RosebudConfig(n_rpus=16))
+
+    def test_write_applies_payload_after_latency(self):
+        sim, dma = self._engine()
+        store = {}
+        done_at = []
+        dma.write(lambda data: store.__setitem__("x", data), b"firmware-image",
+                  on_done=lambda: done_at.append(sim.now))
+        sim.run()
+        assert store["x"] == b"firmware-image"
+        latency_cycles = RosebudConfig(n_rpus=16).clock.ns_to_cycles(PCIE_LATENCY_US * 1e3)
+        assert done_at[0] >= latency_cycles
+
+    def test_read_returns_data(self):
+        sim, dma = self._engine()
+        got = []
+        dma.read(lambda: b"table-contents", got.append)
+        sim.run()
+        assert got == [b"table-contents"]
+
+    def test_tags_bound_outstanding_ops(self):
+        sim, dma = self._engine()
+        completions = []
+        for i in range(DRAM_TAGS + 10):
+            dma.write(lambda data: None, b"x" * 64,
+                      on_done=lambda i=i: completions.append(i))
+        # more requests than tags: the excess waited for a tag
+        sim.run()
+        assert len(completions) == DRAM_TAGS + 10
+        assert dma.counters.value("tag_waits") > 0
+        assert dma.free_tags == DRAM_TAGS
+
+    def test_bandwidth_serializes_large_transfers(self):
+        sim, dma = self._engine()
+        times = []
+        for _ in range(3):
+            dma.write(lambda data: None, b"z" * 125_000,
+                      on_done=lambda: times.append(sim.now))
+        sim.run()
+        # 125 KB at 100 Gbps = 10 us = 2500 cycles apart
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(2500, rel=0.01) for g in gaps)
+
+
+class TestVirtualEthernet:
+    def test_host_packet_forwarded_out_a_port(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        host = HostInterface(system)
+        pkt = _pkt()
+        pkt.ingress_port = 0
+        host.inject_packet(pkt)
+        system.sim.run()
+        assert system.counters.value("delivered") == 1
+        assert system.virtual_ethernet.counters.value("tx_frames") == 1
+
+    def test_host_traffic_shares_lb_and_rpus(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=4), ForwarderFirmware())
+        host = HostInterface(system)
+        for i in range(8):
+            host.inject_packet(_pkt(sport=i + 1))
+        system.sim.run()
+        assert system.rpu_packet_counts() == [2, 2, 2, 2]
+
+    def test_vnic_defers_when_slots_exhausted(self):
+        config = RosebudConfig(n_rpus=1, slots_per_rpu=1)
+        system = RosebudSystem(config, ForwarderFirmware(sw_cycles=2000))
+        host = HostInterface(system)
+        for i in range(4):
+            host.inject_packet(_pkt(sport=i + 1))
+        system.sim.run()
+        assert system.counters.value("delivered") == 4
+        assert system.virtual_ethernet.counters.value("deferred") > 0
+
+
+class _HangFirmware(FirmwareModel):
+    """Fault injection: the first packet wedges the core."""
+
+    name = "hang_fw"
+
+    def __init__(self):
+        self.hung = False
+
+    def process(self, packet, rpu_index):
+        if not self.hung and rpu_index == 0:
+            self.hung = True
+            return FirmwareResult(action=ACTION_FORWARD, sw_cycles=10**9)
+        return FirmwareResult(action=ACTION_FORWARD, sw_cycles=16,
+                              egress_port=packet.ingress_port ^ 1)
+
+    def clone(self):
+        return _HangFirmware()
+
+
+class TestWatchdog:
+    def test_hung_rpu_detected(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=4), _HangFirmware())
+        host = HostInterface(system)
+        for i in range(8):
+            system.offer_packet(0, _pkt(sport=i + 1))
+        system.sim.run(until=500_000)
+        stalled = host.check_watchdogs(threshold_cycles=100_000)
+        assert stalled == [0]
+
+    def test_healthy_system_has_no_stalls(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=4), ForwarderFirmware())
+        host = HostInterface(system)
+        for i in range(8):
+            system.offer_packet(0, _pkt(sport=i + 1))
+        system.sim.run()
+        assert host.check_watchdogs(threshold_cycles=1000) == []
+
+    def test_status_registers_visible(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=4), ForwarderFirmware())
+        host = HostInterface(system)
+        system.rpus[2].status_register = 0xDEAD
+        assert host.read_status_registers() == [0, 0, 0xDEAD, 0]
+
+    def test_hung_rpu_recoverable_by_reconfiguration(self):
+        """The full §3.4 story: detect the hang, reload the RPU, and
+        the system is healthy again."""
+        system = RosebudSystem(RosebudConfig(n_rpus=4), _HangFirmware())
+        host = HostInterface(system, pr_load_ms=0.001)
+        for i in range(8):
+            system.offer_packet(0, _pkt(sport=i + 1))
+        system.sim.run(until=500_000)
+        assert host.check_watchdogs(100_000) == [0]
+        # evict the wedged RPU and reload it
+        abandoned = host.evict_rpu(0)
+        assert abandoned >= 1
+        host.reconfigure_rpu(0, ForwarderFirmware())
+        system.sim.run()
+        assert host.check_watchdogs(100_000) == []
+        before = system.counters.value("delivered")
+        system.offer_packet(0, _pkt(sport=99))
+        system.sim.run()
+        assert system.counters.value("delivered") == before + 1

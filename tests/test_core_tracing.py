@@ -1,0 +1,139 @@
+"""Tests for the packet tracer and robustness against malformed input."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import RosebudConfig, RosebudSystem
+from repro.core.tracing import PacketTracer
+from repro.firmware import ForwarderFirmware
+from repro.packet import Packet, build_tcp
+
+
+def _system():
+    return RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+
+
+class TestPacketTracer:
+    def test_timeline_stages_in_order(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, pad_to=512)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        trace = tracer.trace_of(pkt.packet_id)
+        assert trace is not None
+        stages = [event.stage for event in trace.events]
+        assert stages == ["mac_rx", "lb_assign", "rpu_in", "rpu_done", "egress"]
+        times = [event.at_cycles for event in trace.events]
+        assert times == sorted(times)
+
+    def test_total_matches_latency(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, pad_to=256)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        trace = tracer.trace_of(pkt.packet_id)
+        measured_us = system.latency_us.mean
+        assert trace.total_cycles * 4 / 1000 == pytest.approx(measured_us, rel=1e-6)
+
+    def test_slowest_ranking(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        small = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, pad_to=64)
+        big = build_tcp("1.1.1.1", "2.2.2.2", 2, 80, pad_to=8192)
+        system.offer_packet(0, small)
+        system.offer_packet(1, big)
+        system.sim.run()
+        slowest = tracer.slowest(1)
+        assert slowest[0].packet_id == big.packet_id
+
+    def test_stage_breakdown_has_all_stages(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        for i in range(5):
+            system.offer_packet(0, build_tcp("1.1.1.1", "2.2.2.2", i + 1, 80, pad_to=512))
+        system.sim.run()
+        breakdown = tracer.stage_breakdown()
+        assert set(breakdown) == {"mac_rx", "lb_assign", "rpu_in", "rpu_done", "egress"}
+        assert all(v > 0 for v in breakdown.values())
+
+    def test_trace_cap(self):
+        system = _system()
+        tracer = PacketTracer(system, max_traces=3)
+        for i in range(10):
+            system.offer_packet(0, build_tcp("1.1.1.1", "2.2.2.2", i + 1, 80, pad_to=128))
+        system.sim.run()
+        assert len(tracer.traces) == 3
+
+    def test_format_is_readable(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 80, pad_to=512)
+        system.offer_packet(0, pkt)
+        system.sim.run()
+        text = tracer.trace_of(pkt.packet_id).format()
+        assert "mac_rx" in text and "total" in text and "512B" in text
+
+    def test_detach_restores_hooks(self):
+        system = _system()
+        tracer = PacketTracer(system)
+        tracer.detach()
+        system.offer_packet(0, build_tcp("1.1.1.1", "2.2.2.2", 1, 80, pad_to=128))
+        system.sim.run()
+        assert tracer.traces == {}
+
+
+class TestMalformedInputRobustness:
+    """The whole datapath must survive arbitrary frame bytes — a
+    middlebox cannot crash on garbage from the wire."""
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.binary(min_size=60, max_size=256))
+    def test_arbitrary_bytes_conserved(self, frame):
+        system = _system()
+        system.offer_packet(0, Packet(frame))
+        system.sim.run()
+        accounted = (
+            system.counters.value("delivered")
+            + system.counters.value("to_host")
+            + system.counters.value("dropped_by_firmware")
+            + system.total_rx_drops()
+        )
+        assert accounted == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=60, max_size=128))
+    def test_firewall_survives_garbage(self, frame):
+        from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+        from repro.firmware import FirewallFirmware
+
+        matcher = IpBlacklistMatcher(parse_blacklist(generate_blacklist(50)))
+        system = RosebudSystem(RosebudConfig(n_rpus=4), FirewallFirmware(matcher))
+        system.offer_packet(0, Packet(frame))
+        system.sim.run()
+        assert (
+            system.counters.value("delivered")
+            + system.counters.value("dropped_by_firmware")
+            + system.total_rx_drops()
+        ) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=60, max_size=300))
+    def test_ids_survives_garbage(self, frame):
+        from repro.accel.pigasus import generate_ruleset, parse_rules
+        from repro.firmware import PigasusHwReorderFirmware
+
+        rules = parse_rules(generate_ruleset(20))
+        system = RosebudSystem(
+            RosebudConfig(n_rpus=4), PigasusHwReorderFirmware(rules)
+        )
+        system.offer_packet(0, Packet(frame))
+        system.sim.run()
+        total = (
+            system.counters.value("delivered")
+            + system.counters.value("to_host")
+            + system.counters.value("dropped_by_firmware")
+            + system.total_rx_drops()
+        )
+        assert total == 1

@@ -1,0 +1,122 @@
+"""Tests for multi-word broadcast messages and the stats sampler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BroadcastSystem,
+    HostInterface,
+    MessageChannel,
+    RosebudConfig,
+    RosebudSystem,
+    StatsSampler,
+)
+from repro.firmware import ForwarderFirmware
+from repro.sim import Simulator
+from repro.traffic import FixedSizeSource
+
+
+class TestMessageChannel:
+    def _make(self, n_rpus=8):
+        sim = Simulator()
+        bcast = BroadcastSystem(sim, RosebudConfig(n_rpus=n_rpus))
+        channel = MessageChannel(bcast)
+        return sim, bcast, channel
+
+    def test_round_trip(self):
+        sim, bcast, channel = self._make()
+        channel.send(0, b"state update: flow table generation 7")
+        sim.run()
+        assert channel.receive(3) == b"state update: flow table generation 7"
+
+    def test_unaligned_length_preserved(self):
+        sim, _, channel = self._make()
+        channel.send(0, b"abcde")  # 5 bytes: 2 words published
+        sim.run()
+        assert channel.receive(1) == b"abcde"
+
+    def test_empty_message(self):
+        sim, _, channel = self._make()
+        channel.send(0, b"")
+        sim.run()
+        assert channel.receive(1) == b""
+
+    def test_multiple_messages_in_order(self):
+        sim, _, channel = self._make()
+        channel.send(0, b"first")
+        channel.send(0, b"second!")
+        sim.run()
+        assert channel.receive(2) == b"first"
+        assert channel.receive(2) == b"second!"
+
+    def test_all_receivers_get_it(self):
+        sim, _, channel = self._make(n_rpus=4)
+        channel.send(2, b"hello all")
+        sim.run()
+        for rpu in (0, 1, 3):
+            assert channel.receive(rpu) == b"hello all"
+
+    def test_no_doorbell_no_message(self):
+        sim, bcast, channel = self._make()
+        bcast.send(0, channel.data_base, 0x41414141)  # data word only
+        sim.run()
+        assert channel.receive(1) is None
+
+    def test_oversized_rejected(self):
+        _, _, channel = self._make()
+        with pytest.raises(ValueError):
+            channel.send(0, b"x" * 200)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=124))
+    def test_arbitrary_payload_round_trips(self, payload):
+        sim, _, channel = self._make()
+        channel.send(0, payload)
+        sim.run()
+        assert channel.receive(1) == payload
+
+
+class TestStatsSampler:
+    def test_flat_traffic_yields_flat_samples(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sampler = StatsSampler(system, interval_cycles=20_000)
+        sources = [
+            FixedSizeSource(system, port, 50.0, 512, n_packets=20_000, seed=port + 1)
+            for port in range(2)
+        ]
+        sampler.start()
+        for source in sources:
+            source.start()
+        system.sim.run(until=400_000)
+        sampler.stop()
+        steady = sampler.steady_samples(skip=2)[:-1]
+        assert len(steady) >= 5
+        mean = sum(s.gbps for s in steady) / len(steady)
+        assert mean == pytest.approx(100.0, rel=0.05)
+        for sample in steady:
+            assert sample.gbps == pytest.approx(mean, rel=0.05)
+
+    def test_no_dip_during_reconfiguration(self):
+        """The time-series version of the no-pause claim."""
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        host = HostInterface(system, pr_load_ms=0.2)  # 50k cycles of load
+        sampler = StatsSampler(system, interval_cycles=20_000)
+        sources = [
+            FixedSizeSource(system, port, 60.0, 512, n_packets=40_000, seed=port + 1)
+            for port in range(2)
+        ]
+        sampler.start()
+        for source in sources:
+            source.start()
+        system.sim.schedule(60_000, lambda: host.reconfigure_rpu(4, ForwarderFirmware()))
+        system.sim.run(until=600_000)
+        sampler.stop()
+        # skip warmup and the trailing partial interval
+        assert sampler.dip_fraction(skip=2) > 0.9
+
+    def test_double_start_rejected(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sampler = StatsSampler(system)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()

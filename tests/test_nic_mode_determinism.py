@@ -1,0 +1,73 @@
+"""Tests for NIC-mode operation and simulation determinism."""
+
+import pytest
+
+from repro.core import HostInterface, RosebudConfig, RosebudSystem
+from repro.firmware import ForwarderFirmware, NicFirmware
+from repro.packet import build_tcp
+from repro.traffic import FixedSizeSource, FlowTrafficSource
+
+
+class TestNicMode:
+    def test_wire_traffic_reaches_host(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), NicFirmware())
+        for i in range(10):
+            system.offer_packet(0, build_tcp("1.1.1.1", "2.2.2.2", i + 1, 80, pad_to=256))
+        system.sim.run()
+        assert system.counters.value("to_host") == 10
+        assert system.counters.value("delivered") == 0
+        assert len(system.host_rx) == 10
+
+    def test_host_traffic_reaches_wire(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), NicFirmware(egress_port=1))
+        host = HostInterface(system)
+        for i in range(6):
+            host.inject_packet(build_tcp("10.0.0.1", "8.8.8.8", i + 1, 53, pad_to=200))
+        system.sim.run()
+        assert system.counters.value("delivered") == 6
+        assert system.tx_meters[1].packets_total == 6
+
+    def test_bidirectional_nic(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), NicFirmware())
+        host = HostInterface(system)
+        system.offer_packet(0, build_tcp("1.1.1.1", "2.2.2.2", 5, 80, pad_to=128))
+        host.inject_packet(build_tcp("10.0.0.1", "8.8.8.8", 6, 53, pad_to=128))
+        system.sim.run()
+        assert system.counters.value("to_host") == 1
+        assert system.counters.value("delivered") == 1
+
+
+def _run_fingerprint(seed: int):
+    """A moderately complex run reduced to a comparable fingerprint.
+
+    IMIX traffic makes the packet-size *sequence* seed-dependent, so
+    the timing fingerprint separates seeds while staying reproducible.
+    """
+    from repro.traffic import ImixSource
+
+    system = RosebudSystem(RosebudConfig(n_rpus=8, slots_per_rpu=32), ForwarderFirmware())
+    sources = [
+        ImixSource(system, port, 80.0, seed=seed + port, n_packets=400)
+        for port in range(2)
+    ]
+    for source in sources:
+        source.start()
+    system.sim.run()
+    return (
+        system.counters.snapshot(),
+        tuple(system.rpu_packet_counts()),
+        round(system.latency_us.mean, 9),
+        system.sim.events_processed,
+        system.sim.now,
+    )
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_runs(self):
+        """The whole stack is deterministic given seeds — the property
+        that makes simulation debugging pleasant (§2.3's complaint
+        about hardware is precisely that it isn't)."""
+        assert _run_fingerprint(7) == _run_fingerprint(7)
+
+    def test_different_seeds_differ(self):
+        assert _run_fingerprint(7) != _run_fingerprint(8)

@@ -1,0 +1,160 @@
+"""Tests for packet crafting, parsing, and pcap I/O."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packet import (
+    BuildError,
+    MIN_FRAME_SIZE,
+    Packet,
+    TCP_OVERHEAD,
+    UDP_OVERHEAD,
+    build_raw,
+    build_tcp,
+    build_udp,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestBuildTcp:
+    def test_exact_size(self):
+        pkt = build_tcp("10.0.0.1", "10.0.0.2", 1, 2, pad_to=777)
+        assert pkt.size == 777
+
+    def test_parses_back(self):
+        pkt = build_tcp("10.1.2.3", "10.4.5.6", 1111, 443, payload=b"abc", pad_to=200)
+        assert pkt.is_ipv4 and pkt.is_tcp
+        assert pkt.parsed.ipv4.src == "10.1.2.3"
+        assert pkt.parsed.tcp.dst_port == 443
+        assert pkt.payload.startswith(b"abc")
+
+    def test_five_tuple(self):
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 10, 20)
+        assert pkt.five_tuple == ("1.1.1.1", "2.2.2.2", 6, 10, 20)
+
+    def test_min_frame_padding(self):
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 2)
+        assert pkt.size >= MIN_FRAME_SIZE
+
+    def test_pad_below_overhead_rejected(self):
+        with pytest.raises(BuildError):
+            build_tcp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=TCP_OVERHEAD - 1)
+
+    def test_payload_longer_than_pad_rejected(self):
+        with pytest.raises(BuildError):
+            build_tcp("1.1.1.1", "2.2.2.2", 1, 2, payload=b"x" * 100, pad_to=100)
+
+    def test_seq_carried(self):
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, seq=987654)
+        assert pkt.parsed.tcp.seq == 987654
+
+    @given(st.integers(min_value=MIN_FRAME_SIZE, max_value=9000))
+    def test_any_size_round_trips(self, size):
+        pkt = build_tcp("10.0.0.1", "10.0.0.2", 5, 6, pad_to=size)
+        assert pkt.size == size
+        assert pkt.is_tcp
+
+
+class TestBuildUdp:
+    def test_udp_parses(self):
+        pkt = build_udp("10.0.0.1", "10.0.0.2", 53, 53, payload=b"q", pad_to=128)
+        assert pkt.is_udp and not pkt.is_tcp
+        assert pkt.five_tuple[2] == 17
+
+    def test_udp_overhead_boundary(self):
+        # below the Ethernet minimum the frame is zero-padded, and that
+        # padding lands beyond the UDP header, i.e. in the payload view
+        pkt = build_udp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=UDP_OVERHEAD + 1)
+        assert pkt.size == MIN_FRAME_SIZE
+        assert pkt.parsed.udp.length == 9  # UDP header + 1 real byte
+
+    def test_udp_payload_exact_above_minimum(self):
+        pkt = build_udp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=100)
+        assert len(pkt.payload) == 100 - UDP_OVERHEAD
+
+
+class TestBuildRaw:
+    def test_non_ip_frame(self):
+        pkt = build_raw(100)
+        assert pkt.size == 100
+        assert not pkt.is_ipv4
+        assert pkt.five_tuple is None
+
+    def test_too_small_rejected(self):
+        with pytest.raises(BuildError):
+            build_raw(10)
+
+
+class TestPacketObject:
+    def test_ids_unique(self):
+        a = build_raw(64)
+        b = build_raw(64)
+        assert a.packet_id != b.packet_id
+
+    def test_drop_records_reason(self):
+        pkt = build_raw(64)
+        pkt.drop("test reason")
+        assert pkt.dropped and pkt.drop_reason == "test reason"
+
+    def test_parse_cache_invalidation(self):
+        pkt = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=128)
+        assert pkt.is_tcp
+        pkt.data = build_udp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=128).data
+        assert pkt.is_tcp  # stale cache
+        pkt.invalidate_parse_cache()
+        assert pkt.is_udp
+
+    def test_stamp(self):
+        pkt = build_raw(64)
+        pkt.stamp("x", 12.5)
+        assert pkt.timestamps["x"] == 12.5
+
+    def test_malformed_bytes_parse_safely(self):
+        pkt = Packet(b"\x00" * 20)
+        assert not pkt.is_ipv4
+        assert pkt.five_tuple is None
+
+    def test_truncated_tcp_parses_as_ipv4_only(self):
+        full = build_tcp("1.1.1.1", "2.2.2.2", 1, 2, pad_to=128)
+        pkt = Packet(full.data[:40])  # eth + ipv4 + 6 bytes of tcp
+        assert pkt.is_ipv4
+        assert not pkt.is_tcp
+
+
+class TestPcap:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packets = [build_tcp("1.1.1.1", "2.2.2.2", i + 1, 80, pad_to=100) for i in range(5)]
+        for i, pkt in enumerate(packets):
+            pkt.born_at = i * 250  # cycles
+        count = write_pcap(path, packets)
+        assert count == 5
+        loaded = read_pcap(path)
+        assert len(loaded) == 5
+        for orig, back in zip(packets, loaded):
+            assert back.data == orig.data
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        from repro.packet import PcapError
+
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [build_raw(64)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        from repro.packet import PcapError
+
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        write_pcap(path, [build_raw(1000)], snaplen=100)
+        loaded = read_pcap(path)
+        assert len(loaded[0].data) == 100

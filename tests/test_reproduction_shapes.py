@@ -1,0 +1,201 @@
+"""End-to-end shape tests against the paper's headline claims.
+
+These are scaled-down versions of the benchmark experiments (fewer
+packets) asserting the qualitative results: who saturates what, where
+the knees fall.  The full curves live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from repro.accel.pigasus import generate_ruleset, parse_rules
+from repro.analysis import (
+    estimated_latency_us,
+    forwarding_experiment,
+    measure_latency,
+    measure_throughput,
+)
+from repro.core import HashLB, RosebudConfig, RosebudSystem
+from repro.firmware import (
+    FirewallFirmware,
+    ForwarderFirmware,
+    PigasusHwReorderFirmware,
+    PigasusSwReorderFirmware,
+    TwoStepForwarder,
+)
+from repro.traffic import FixedSizeSource, FlowTrafficSource
+
+
+def _fwd(n_rpus, size, gbps, **kwargs):
+    kwargs.setdefault("warmup_packets", 800)
+    kwargs.setdefault("measure_packets", 3000)
+    return forwarding_experiment(n_rpus, size, gbps, ForwarderFirmware, **kwargs)
+
+
+class TestForwardingThroughput:
+    """Figure 7a/7b shapes."""
+
+    def test_16rpu_200g_line_rate_at_512b(self):
+        result = _fwd(16, 512, 200)
+        assert result.fraction_of_line > 0.99
+
+    def test_16rpu_200g_64b_caps_at_250mpps(self):
+        result = _fwd(16, 64, 200)
+        assert result.achieved_mpps == pytest.approx(250.0, rel=0.02)
+        assert 0.85 < result.fraction_of_line < 0.92
+
+    def test_8rpu_200g_1024b_line_rate(self):
+        result = _fwd(8, 1024, 200)
+        assert result.fraction_of_line > 0.99
+
+    def test_8rpu_200g_512b_below_line(self):
+        result = _fwd(8, 512, 200)
+        assert 0.90 < result.fraction_of_line < 0.995
+
+    def test_8rpu_max_125mpps(self):
+        result = _fwd(8, 64, 200)
+        assert result.achieved_mpps <= 126.0
+
+    def test_100g_single_port_125mpps_cap(self):
+        result = _fwd(16, 64, 100, n_ports_used=1)
+        assert result.achieved_mpps == pytest.approx(125.0, rel=0.02)
+
+    def test_100g_128b_line_rate(self):
+        result = _fwd(16, 128, 100, n_ports_used=1)
+        assert result.fraction_of_line > 0.99
+
+    def test_no_drops_at_line_rate_large_packets(self):
+        result = _fwd(16, 1500, 200)
+        assert result.rx_drops == 0
+
+
+class TestForwardingLatency:
+    """Figure 7c shape: Eq. 1 at low load; +32.8 us at saturated 64 B."""
+
+    @pytest.mark.parametrize("size", [64, 512, 1500])
+    def test_low_load_latency_tracks_eq1(self, size):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
+        hist = measure_latency(system, sources, warmup_packets=30, measure_packets=100)
+        assert hist.mean == pytest.approx(estimated_latency_us(size), rel=0.10)
+
+    def test_saturated_64b_adds_tens_of_us(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sources = [
+            FixedSizeSource(system, p, 100.0, 64, respect_generator_cap=False)
+            for p in range(2)
+        ]
+        hist = measure_latency(system, sources, warmup_packets=70_000, measure_packets=2000)
+        assert 25.0 < hist.mean < 40.0  # paper: +32.8 us over the base
+
+    def test_saturated_large_packets_close_to_base(self):
+        """High load adds only marginal latency except at 64 B (§6.2)."""
+        system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 100.0, 1024) for p in range(2)]
+        hist = measure_latency(system, sources, warmup_packets=2000, measure_packets=1000)
+        assert hist.mean < estimated_latency_us(1024) * 2.5
+
+
+class TestLoopbackMessaging:
+    """§6.3 shapes."""
+
+    def _run(self, size):
+        system = RosebudSystem(RosebudConfig(n_rpus=16), TwoStepForwarder(16))
+        system.lb.host_write(system.lb.REG_ENABLE_MASK, 0x00FF)
+        sources = [
+            FixedSizeSource(system, 0, 100.0, size, respect_generator_cap=False)
+        ]
+        return measure_throughput(
+            system, sources, size, 100.0, warmup_packets=1000, measure_packets=3000
+        )
+
+    def test_64b_about_60_percent(self):
+        result = self._run(64)
+        assert 0.55 < result.fraction_of_line < 0.65
+
+    def test_128b_and_up_line_rate(self):
+        result = self._run(128)
+        assert result.fraction_of_line > 0.99
+
+
+@pytest.fixture(scope="module")
+def ids_rules():
+    return parse_rules(generate_ruleset(60))
+
+
+class TestIpsShapes:
+    """Figure 8/9 shapes (scaled down)."""
+
+    def _point(self, firmware, size, lb=None, n_flows=512):
+        cfg = RosebudConfig(n_rpus=8, slots_per_rpu=32)
+        system = RosebudSystem(cfg, firmware, lb_policy=lb)
+        payloads = [r.content for r in firmware.rules]
+        sources = [
+            FlowTrafficSource(
+                system, p, 100.0, size, attack_fraction=0.01,
+                attack_payloads=payloads, reorder_fraction=0.003,
+                n_flows=n_flows, seed=p + 1, respect_generator_cap=False,
+            )
+            for p in range(2)
+        ]
+        return measure_throughput(
+            system, sources, size, 200.0, warmup_packets=600, measure_packets=2500
+        ), system
+
+    def test_hw_reorder_cycles_near_61(self, ids_rules):
+        result, _ = self._point(PigasusHwReorderFirmware(ids_rules), 64)
+        assert result.cycles_per_packet == pytest.approx(61, rel=0.05)
+
+    def test_hw_reorder_line_rate_at_1024(self, ids_rules):
+        result, _ = self._point(PigasusHwReorderFirmware(ids_rules), 1024)
+        assert result.fraction_of_line > 0.97
+
+    def test_sw_reorder_slower_than_hw(self, ids_rules):
+        hw, _ = self._point(PigasusHwReorderFirmware(ids_rules), 512)
+        sw, _ = self._point(
+            PigasusSwReorderFirmware(ids_rules), 512, lb=HashLB(8)
+        )
+        assert sw.achieved_mpps < hw.achieved_mpps
+        assert sw.cycles_per_packet > 130
+
+    def test_attack_traffic_reaches_host(self, ids_rules):
+        _, system = self._point(PigasusHwReorderFirmware(ids_rules), 512)
+        assert system.counters.value("to_host") > 0
+        for pkt in system.host_rx:
+            assert pkt.rule_ids
+
+    def test_hash_lb_imbalance_visible(self, ids_rules):
+        """§7.1.3: non-uniform flow hashing degrades SW reorder."""
+        result, _ = self._point(
+            PigasusSwReorderFirmware(ids_rules), 512, lb=HashLB(8), n_flows=64
+        )
+        counts = result.rpu_packet_counts
+        assert max(counts) > min(counts)
+
+
+class TestFirewallShape:
+    """§7.2: 200 Gbps for >=256 B."""
+
+    @pytest.fixture(scope="class")
+    def matcher(self):
+        return IpBlacklistMatcher(parse_blacklist(generate_blacklist(1050)))
+
+    def _point(self, matcher, size):
+        cfg = RosebudConfig(n_rpus=16)
+        system = RosebudSystem(cfg, FirewallFirmware(matcher))
+        sources = [
+            FixedSizeSource(system, p, 100.0, size, respect_generator_cap=False)
+            for p in range(2)
+        ]
+        # long warmup: the RX FIFO must reach steady state before the
+        # absorbed-rate reading means anything at overload
+        return measure_throughput(
+            system, sources, size, 200.0,
+            warmup_packets=8000, measure_packets=6000, include_absorbed=True,
+        )
+
+    def test_256b_line_rate(self, matcher):
+        assert self._point(matcher, 256).fraction_of_line > 0.99
+
+    def test_128b_below_line(self, matcher):
+        assert self._point(matcher, 128).fraction_of_line < 0.95

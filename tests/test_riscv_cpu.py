@@ -1,0 +1,450 @@
+"""Tests for the RV32IM instruction-set simulator."""
+
+import pytest
+
+from repro.riscv import MemoryBus, RiscvCpu, assemble
+from repro.riscv.cpu import (
+    CSR_MCAUSE,
+    CSR_MEPC,
+    CSR_MIE,
+    CSR_MSTATUS,
+    CSR_MTVEC,
+    MSTATUS_MIE,
+)
+
+
+def run_program(source, ram_size=64 * 1024, max_instructions=100_000, setup=None):
+    bus = MemoryBus()
+    bus.add_ram(0, ram_size)
+    program = assemble(source)
+    bus.load_blob(0, program.image)
+    cpu = RiscvCpu(bus)
+    if setup:
+        setup(cpu, bus)
+    cpu.run(max_instructions=max_instructions)
+    return cpu, bus
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        cpu, _ = run_program("""
+            li a0, 100
+            li a1, 58
+            add a2, a0, a1
+            sub a3, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 158
+        assert cpu.read_reg(13) == 42
+
+    def test_wraparound(self):
+        cpu, _ = run_program("""
+            li a0, 0xFFFFFFFF
+            addi a0, a0, 1
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 0
+
+    def test_slt_signed_vs_unsigned(self):
+        cpu, _ = run_program("""
+            li a0, -1
+            li a1, 1
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 1  # -1 < 1 signed
+        assert cpu.read_reg(13) == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_logic_ops(self):
+        cpu, _ = run_program("""
+            li a0, 0xF0F0
+            li a1, 0x0FF0
+            and a2, a0, a1
+            or  a3, a0, a1
+            xor a4, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0x00F0
+        assert cpu.read_reg(13) == 0xFFF0
+        assert cpu.read_reg(14) == 0xFF00
+
+    def test_shifts(self):
+        cpu, _ = run_program("""
+            li a0, 0x80000000
+            srli a1, a0, 4
+            srai a2, a0, 4
+            li a3, 1
+            slli a4, a3, 31
+            ebreak
+        """)
+        assert cpu.read_reg(11) == 0x08000000
+        assert cpu.read_reg(12) == 0xF8000000
+        assert cpu.read_reg(14) == 0x80000000
+
+    def test_variable_shift_masks_to_5_bits(self):
+        cpu, _ = run_program("""
+            li a0, 1
+            li a1, 33
+            sll a2, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 2  # shift by 33 & 31 = 1
+
+
+class TestMulDiv:
+    def test_mul(self):
+        cpu, _ = run_program("""
+            li a0, 1000
+            li a1, 1000
+            mul a2, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 1_000_000
+
+    def test_mulh_signed(self):
+        cpu, _ = run_program("""
+            li a0, -2
+            li a1, 0x40000000
+            mulh a2, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFFFFFF  # -0.5 of 2^32 -> high = -1
+
+    def test_mulhu(self):
+        cpu, _ = run_program("""
+            li a0, 0xFFFFFFFF
+            li a1, 0xFFFFFFFF
+            mulhu a2, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFFFFFE
+
+    def test_div_rem(self):
+        cpu, _ = run_program("""
+            li a0, -7
+            li a1, 2
+            div a2, a0, a1
+            rem a3, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFFFFFD  # -3 (truncating)
+        assert cpu.read_reg(13) == 0xFFFFFFFF  # -1
+
+    def test_div_by_zero_spec(self):
+        cpu, _ = run_program("""
+            li a0, 55
+            li a1, 0
+            div a2, a0, a1
+            divu a3, a0, a1
+            rem a4, a0, a1
+            remu a5, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFFFFFF
+        assert cpu.read_reg(13) == 0xFFFFFFFF
+        assert cpu.read_reg(14) == 55
+        assert cpu.read_reg(15) == 55
+
+    def test_div_overflow_case(self):
+        cpu, _ = run_program("""
+            li a0, 0x80000000
+            li a1, -1
+            div a2, a0, a1
+            rem a3, a0, a1
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0x80000000
+        assert cpu.read_reg(13) == 0
+
+
+class TestMemory:
+    def test_store_load_word(self):
+        cpu, _ = run_program("""
+            li a0, 0x1000
+            li a1, 0xCAFEBABE
+            sw a1, 0(a0)
+            lw a2, 0(a0)
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xCAFEBABE
+
+    def test_byte_sign_extension(self):
+        cpu, _ = run_program("""
+            li a0, 0x1000
+            li a1, 0x80
+            sb a1, 0(a0)
+            lb a2, 0(a0)
+            lbu a3, 0(a0)
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFFFF80
+        assert cpu.read_reg(13) == 0x80
+
+    def test_half_sign_extension(self):
+        cpu, _ = run_program("""
+            li a0, 0x1000
+            li a1, 0x8001
+            sh a1, 0(a0)
+            lh a2, 0(a0)
+            lhu a3, 0(a0)
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0xFFFF8001
+        assert cpu.read_reg(13) == 0x8001
+
+    def test_little_endian_layout(self):
+        cpu, bus = run_program("""
+            li a0, 0x1000
+            li a1, 0x11223344
+            sw a1, 0(a0)
+            lbu a2, 0(a0)
+            lbu a3, 3(a0)
+            ebreak
+        """)
+        assert cpu.read_reg(12) == 0x44
+        assert cpu.read_reg(13) == 0x11
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        cpu, _ = run_program("""
+            li a0, 10
+            li a1, 0
+        loop:
+            addi a1, a1, 3
+            addi a0, a0, -1
+            bnez a0, loop
+            ebreak
+        """)
+        assert cpu.read_reg(11) == 30
+
+    def test_call_ret(self):
+        cpu, _ = run_program("""
+            li a0, 5
+            call double
+            call double
+            ebreak
+        double:
+            add a0, a0, a0
+            ret
+        """)
+        assert cpu.read_reg(10) == 20
+
+    def test_x0_always_zero(self):
+        cpu, _ = run_program("""
+            li t0, 99
+            add x0, t0, t0
+            mv a0, x0
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 0
+
+    def test_jalr_clears_lsb(self):
+        cpu, _ = run_program("""
+            la t0, target+1
+            jalr ra, 0(t0)
+            ebreak
+        target:
+            li a0, 7
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 7
+
+    def test_branch_comparisons(self):
+        cpu, _ = run_program("""
+            li a0, 0
+            li t0, -5
+            li t1, 5
+            bltu t0, t1, skip1   # unsigned: 0xFFFFFFFB > 5, not taken
+            ori a0, a0, 1
+        skip1:
+            blt t0, t1, skip2    # signed: taken
+            ori a0, a0, 2
+        skip2:
+            bgeu t0, t1, skip3   # unsigned: taken
+            ori a0, a0, 4
+        skip3:
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 1
+
+
+class TestCycleModel:
+    def test_cycles_accumulate(self):
+        cpu, _ = run_program("""
+            addi a0, x0, 1
+            addi a0, a0, 1
+            ebreak
+        """)
+        assert cpu.cycles >= 2
+
+    def test_taken_branch_costs_more(self):
+        taken, _ = run_program("""
+            li a0, 1
+            beqz x0, skip
+            nop
+        skip:
+            ebreak
+        """)
+        not_taken, _ = run_program("""
+            li a0, 1
+            bnez x0, skip
+            nop
+        skip:
+            ebreak
+        """)
+        # same instruction count except the not-taken path executes the
+        # extra nop; taken pays the flush penalty
+        assert taken.cycles == not_taken.cycles + 1  # 3 penalty vs 1+1
+
+    def test_div_is_expensive(self):
+        cpu, _ = run_program("""
+            li a0, 100
+            li a1, 3
+            div a2, a0, a1
+            ebreak
+        """)
+        assert cpu.cycles > 32
+
+    def test_instret_counts_instructions(self):
+        cpu, _ = run_program("""
+            nop
+            nop
+            nop
+            ebreak
+        """)
+        assert cpu.instret == 4
+
+
+class TestCsrAndTraps:
+    def test_csr_read_write(self):
+        cpu, _ = run_program("""
+            li t0, 0x1234
+            csrw mscratch, t0
+            csrr a0, mscratch
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 0x1234
+
+    def test_csr_set_clear_bits(self):
+        cpu, _ = run_program("""
+            li t0, 0xF0
+            csrw mscratch, t0
+            csrrsi a0, mscratch, 0xF
+            csrrci a1, mscratch, 0x10
+            csrr a2, mscratch
+            ebreak
+        """)
+        assert cpu.read_reg(10) == 0xF0
+        assert cpu.read_reg(11) == 0xFF
+        assert cpu.read_reg(12) == 0xEF
+
+    def test_mhartid_readonly(self):
+        bus = MemoryBus()
+        bus.add_ram(0, 4096)
+        program = assemble("""
+            csrr a0, mhartid
+            ebreak
+        """)
+        bus.load_blob(0, program.image)
+        cpu = RiscvCpu(bus, hartid=7)
+        cpu.run()
+        assert cpu.read_reg(10) == 7
+
+    def test_interrupt_taken_and_mret(self):
+        source = """
+            # set up trap vector and enable external interrupt line 1
+            la t0, handler
+            csrw mtvec, t0
+            li t0, 0x10000       # bit 16: external line 1
+            csrw mie, t0
+            csrrsi x0, mstatus, 8  # MIE
+            li a0, 0
+        wait:
+            addi a1, a1, 1
+            li t0, 1000
+            blt a1, t0, wait
+            ebreak
+        handler:
+            li a0, 42
+            csrrci x0, mip, 0    # handler would clear the source
+            mret
+        """
+        bus = MemoryBus()
+        bus.add_ram(0, 8192)
+        program = assemble(source)
+        bus.load_blob(0, program.image)
+        cpu = RiscvCpu(bus)
+        for _ in range(20):
+            cpu.step()
+        cpu.raise_interrupt(1)
+        cpu.run(max_instructions=10_000)
+        assert cpu.read_reg(10) == 42
+        assert cpu.halted
+
+    def test_wfi_wakes_on_interrupt(self):
+        source = """
+            la t0, handler
+            csrw mtvec, t0
+            li t0, 0x10000
+            csrw mie, t0
+            csrrsi x0, mstatus, 8
+            wfi
+            ebreak
+        handler:
+            li a0, 1
+            mret
+        """
+        bus = MemoryBus()
+        bus.add_ram(0, 8192)
+        program = assemble(source)
+        bus.load_blob(0, program.image)
+        cpu = RiscvCpu(bus)
+        for _ in range(10):
+            cpu.step()
+        assert cpu.waiting_for_interrupt
+        cpu.raise_interrupt(1)
+        cpu.run(max_instructions=100)
+        assert cpu.read_reg(10) == 1
+
+    def test_interrupt_disabled_by_mstatus(self):
+        bus = MemoryBus()
+        bus.add_ram(0, 4096)
+        program = assemble("""
+            li a0, 0
+            addi a0, a0, 1
+            addi a0, a0, 1
+            ebreak
+        """)
+        bus.load_blob(0, program.image)
+        cpu = RiscvCpu(bus)
+        cpu.csrs[CSR_MIE] = 0xFFFFFFFF
+        cpu.raise_interrupt(1)  # MIE bit in mstatus still clear
+        cpu.run()
+        assert cpu.read_reg(10) == 2  # ran to completion, no trap
+
+    def test_ecall_handler_hook(self):
+        bus = MemoryBus()
+        bus.add_ram(0, 4096)
+        program = assemble("""
+            li a0, 11
+            ecall
+            li a0, 22
+            ebreak
+        """)
+        bus.load_blob(0, program.image)
+        cpu = RiscvCpu(bus)
+        seen = []
+        cpu.ecall_handler = lambda c: seen.append(c.read_reg(10))
+        cpu.run()
+        assert seen == [11]
+        assert cpu.read_reg(10) == 22
+
+    def test_reset(self):
+        cpu, _ = run_program("""
+            li a0, 5
+            ebreak
+        """)
+        cpu.reset()
+        assert cpu.pc == 0 and cpu.read_reg(10) == 0 and not cpu.halted

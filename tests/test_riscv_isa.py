@@ -1,0 +1,170 @@
+"""Tests for RV32IM encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.riscv import DecodeError, decode, parse_register, sign_extend
+from repro.riscv.isa import (
+    OP_IMM,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec."""
+
+    def test_addi(self):
+        # addi x1, x2, 100
+        inst = decode(0x06410093)
+        assert inst.mnemonic == "addi" and inst.rd == 1 and inst.rs1 == 2 and inst.imm == 100
+
+    def test_addi_negative_imm(self):
+        # addi x5, x0, -1
+        inst = decode(0xFFF00293)
+        assert inst.mnemonic == "addi" and inst.imm == -1
+
+    def test_lui(self):
+        # lui x3, 0xdead0
+        inst = decode(0xDEAD01B7)
+        assert inst.mnemonic == "lui" and inst.rd == 3
+        assert inst.imm & 0xFFFFFFFF == 0xDEAD0000
+
+    def test_jal(self):
+        # jal x1, +8
+        inst = decode(0x008000EF)
+        assert inst.mnemonic == "jal" and inst.rd == 1 and inst.imm == 8
+
+    def test_jal_negative(self):
+        # jal x0, -4
+        inst = decode(0xFFDFF06F)
+        assert inst.mnemonic == "jal" and inst.imm == -4
+
+    def test_beq(self):
+        # beq x1, x2, +16
+        inst = decode(0x00208863)
+        assert inst.mnemonic == "beq" and inst.imm == 16
+
+    def test_lw(self):
+        # lw x6, 12(x7)
+        inst = decode(0x00C3A303)
+        assert inst.mnemonic == "lw" and inst.rd == 6 and inst.rs1 == 7 and inst.imm == 12
+
+    def test_sw(self):
+        # sw x6, 12(x7)
+        inst = decode(0x0063A623)
+        assert inst.mnemonic == "sw" and inst.rs1 == 7 and inst.rs2 == 6 and inst.imm == 12
+
+    def test_mul(self):
+        # mul x5, x6, x7
+        inst = decode(0x027302B3)
+        assert inst.mnemonic == "mul" and inst.rd == 5
+
+    def test_divu(self):
+        inst = decode(0x0272D2B3)
+        assert inst.mnemonic == "divu"
+
+    def test_ecall_ebreak(self):
+        assert decode(0x00000073).mnemonic == "ecall"
+        assert decode(0x00100073).mnemonic == "ebreak"
+
+    def test_mret_wfi(self):
+        assert decode(0x30200073).mnemonic == "mret"
+        assert decode(0x10500073).mnemonic == "wfi"
+
+    def test_csrrw(self):
+        # csrrw x1, mstatus, x2
+        inst = decode(0x300110F3)
+        assert inst.mnemonic == "csrrw" and inst.csr == 0x300
+
+    def test_slli_srai(self):
+        # slli x1, x2, 5
+        inst = decode(0x00511093)
+        assert inst.mnemonic == "slli" and inst.imm == 5
+        # srai x1, x2, 5
+        inst = decode(0x40515093)
+        assert inst.mnemonic == "srai" and inst.imm == 5
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0x0000007B)
+
+
+class TestEncodeDecodeRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=-2048, max_value=2047),
+    )
+    def test_i_type_round_trip(self, rd, rs1, imm):
+        word = encode_i(imm, rs1, 0, rd, OP_IMM)
+        inst = decode(word)
+        assert inst.mnemonic == "addi"
+        assert (inst.rd, inst.rs1, inst.imm) == (rd, rs1, imm)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=-2048, max_value=2047),
+    )
+    def test_s_type_round_trip(self, rs1, rs2, imm):
+        word = encode_s(imm, rs2, rs1, 0b010, 0b0100011)
+        inst = decode(word)
+        assert inst.mnemonic == "sw"
+        assert (inst.rs1, inst.rs2, inst.imm) == (rs1, rs2, imm)
+
+    @given(st.integers(min_value=-2048, max_value=2046).map(lambda x: x * 2))
+    def test_b_type_round_trip(self, imm):
+        word = encode_b(imm, 1, 2, 0b000, 0b1100011)
+        inst = decode(word)
+        assert inst.mnemonic == "beq" and inst.imm == imm
+
+    @given(st.integers(min_value=-(2**19), max_value=2**19 - 1).map(lambda x: x * 2))
+    def test_j_type_round_trip(self, imm):
+        word = encode_j(imm, 1, 0b1101111)
+        inst = decode(word)
+        assert inst.mnemonic == "jal" and inst.imm == imm
+
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_u_type_round_trip(self, imm20):
+        word = encode_u(imm20 << 12, 5, 0b0110111)
+        inst = decode(word)
+        assert inst.mnemonic == "lui"
+        assert (inst.imm & 0xFFFFFFFF) == ((imm20 << 12) & 0xFFFFFFFF)
+
+    def test_b_imm_out_of_range(self):
+        with pytest.raises(DecodeError):
+            encode_b(4096, 0, 0, 0, 0b1100011)
+
+    def test_b_imm_odd_rejected(self):
+        with pytest.raises(DecodeError):
+            encode_b(3, 0, 0, 0, 0b1100011)
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("t6") == 31
+        assert parse_register("fp") == 8
+
+    def test_numeric_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_bad_register(self):
+        with pytest.raises(DecodeError):
+            parse_register("x32")
+        with pytest.raises(DecodeError):
+            parse_register("q1")
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x7FF, 12) == 2047
+        assert sign_extend(0x800, 12) == -2048

@@ -1,0 +1,172 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcdef":
+            sim.schedule(5, lambda l=label: order.append(l))
+        sim.run()
+        assert order == list("abcdef")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        hits = []
+
+        def first():
+            hits.append(sim.now)
+            sim.schedule(5, lambda: hits.append(sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert hits == [10, 15]
+
+    def test_zero_delay_event_runs_at_same_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(7, lambda: sim.schedule(0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7]
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(1))
+        sim.schedule(100, lambda: fired.append(2))
+        sim.run(until=50)
+        assert fired == [1]
+        assert sim.now == 50
+
+    def test_run_until_advances_time_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=1000)
+        assert sim.now == 1000
+
+    def test_remaining_events_run_on_second_call(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(1))
+        sim.schedule(100, lambda: fired.append(2))
+        sim.run(until=50)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(2, sim.stop)
+        sim.schedule(3, lambda: fired.append(3))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda: count.append(1))
+        sim.run(max_events=4)
+        assert len(count) == 4
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(5, lambda: None)
+        sim.schedule(10, lambda: None)
+        event.cancel()
+        assert sim.peek() == 10
+
+
+class TestProcesses:
+    def test_generator_process_yields_delays(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            for _ in range(3):
+                ticks.append(sim.now)
+                yield 10
+
+        sim.process(proc())
+        sim.run()
+        assert ticks == [0, 10, 20]
+
+    def test_process_negative_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -5
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, period):
+            for _ in range(2):
+                log.append((name, sim.now))
+                yield period
+
+        sim.process(proc("fast", 3))
+        sim.process(proc("slow", 5))
+        sim.run()
+        assert ("fast", 0) in log and ("fast", 3) in log
+        assert ("slow", 0) in log and ("slow", 5) in log
