@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples results clean
+.PHONY: install test test-fast bench bench-smoke examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fast parallel-path regression check: a tiny sweep through the worker
+# pool plus the kernel events/sec probe.  Fits in the tier-1 budget.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sweep --sizes 512,1024 --rpu-set 8,16 \
+		--jobs 2 --warmup 200 --packets 500
+	PYTHONPATH=src $(PYTHON) benchmarks/kernel_probe.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

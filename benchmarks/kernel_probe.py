@@ -1,0 +1,41 @@
+"""Standalone kernel events/sec probe for ``make bench-smoke``.
+
+Runs the same event-chain workload as
+``benchmarks/test_simulator_performance.py`` without the pytest
+harness, prints the :meth:`Simulator.run_profile` report, and exits
+non-zero if the dispatch rate falls under the regression floor — so CI
+can spot a kernel slowdown in seconds.
+"""
+
+import sys
+
+from repro.sim import Simulator
+
+EVENTS = 80_000
+FLOOR_EVENTS_PER_SEC = 50_000
+
+
+def main() -> int:
+    sim = Simulator()
+
+    def chain(remaining):
+        if remaining:
+            sim.schedule(1.0, lambda: chain(remaining - 1), name="chain")
+
+    for _ in range(8):
+        chain(EVENTS // 8)
+    profile = sim.run_profile()
+    print(profile.format())
+    if profile.events_processed != EVENTS:
+        print(f"FAIL: processed {profile.events_processed} != {EVENTS}")
+        return 1
+    if profile.events_per_sec < FLOOR_EVENTS_PER_SEC:
+        print(f"FAIL: {profile.events_per_sec:,.0f} events/s under floor "
+              f"{FLOOR_EVENTS_PER_SEC:,}")
+        return 1
+    print("kernel probe OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,34 @@ def test_kernel_event_rate(benchmark):
     assert events >= 10_000
 
 
+def test_kernel_events_per_sec_profile(benchmark, emit):
+    """Tracked number: kernel dispatch rate via ``Simulator.run_profile``.
+
+    The profile names the hot events, so a regression report says *what*
+    got slower, not just that something did.
+    """
+
+    def run_profiled():
+        sim = Simulator()
+        count = 40_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1.0, lambda: chain(remaining - 1), name="chain")
+
+        for _ in range(8):
+            chain(count // 8)
+        return sim.run_profile()
+
+    profile = benchmark.pedantic(run_profiled, rounds=3, iterations=1)
+    emit("kernel_events_per_sec", profile.format())
+    assert profile.events_processed == 40_000
+    assert profile.top_events[0][0] == "chain"
+    # Loose floor (a tenth of what a cold laptop core manages) so only a
+    # real kernel regression trips it, not machine noise.
+    assert profile.events_per_sec > 50_000
+
+
 def test_system_packet_rate(benchmark):
     """End-to-end simulated packets per wall second."""
 

@@ -6,6 +6,20 @@ from .harness import (
     measure_latency,
     measure_throughput,
 )
+from .spec import (
+    ExperimentResult,
+    ExperimentSpec,
+    MeasurementWindow,
+    SpecError,
+    TrafficProfile,
+)
+from .engine import (
+    PointOutcome,
+    ResultCache,
+    SweepOutcome,
+    SweepRunner,
+    run_experiment,
+)
 from .latency import (
     FIXED_LATENCY_US,
     MAC_GBPS,
@@ -35,6 +49,16 @@ __all__ = [
     "forwarding_experiment",
     "measure_latency",
     "measure_throughput",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MeasurementWindow",
+    "SpecError",
+    "TrafficProfile",
+    "PointOutcome",
+    "ResultCache",
+    "SweepOutcome",
+    "SweepRunner",
+    "run_experiment",
     "FIXED_LATENCY_US",
     "MAC_GBPS",
     "RPU_LINK_GBPS",

@@ -5,12 +5,21 @@ to get a good average" and reading averaged byte counters.  In
 simulation we do the same with a warmup: run until the pipeline is in
 steady state, snapshot counters, run a measurement window, and report
 rates over that window only.
+
+The measurement loops live here as private primitives shared by every
+entry point; the public functions (:func:`measure_throughput`,
+:func:`measure_latency`, :func:`forwarding_experiment`) are kept for
+compatibility as thin wrappers over the :class:`ExperimentSpec` API
+and emit :class:`DeprecationWarning` — new code should build an
+:class:`~repro.analysis.spec.ExperimentSpec` and call
+:func:`~repro.analysis.engine.run_experiment` (or use the parallel
+:class:`~repro.analysis.engine.SweepRunner`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.config import RosebudConfig
 from ..core.firmware_api import FirmwareModel
@@ -18,6 +27,7 @@ from ..core.lb import LBPolicy
 from ..core.system import RosebudSystem
 from ..sim.clock import max_effective_gbps
 from ..sim.stats import Histogram
+from .spec import ExperimentSpec, MeasurementWindow, TrafficProfile, _deprecated
 
 
 @dataclass
@@ -39,15 +49,20 @@ class ThroughputResult:
             return 0.0
         return min(1.0, self.achieved_gbps / self.line_rate_gbps)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
 
-def measure_throughput(
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ThroughputResult":
+        return cls(**data)
+
+
+def _measure_throughput(
     system: RosebudSystem,
     sources: Sequence,
     packet_size: int,
     offered_gbps_total: float,
-    warmup_packets: int = 2000,
-    measure_packets: int = 8000,
-    max_cycles: float = 500_000_000,
+    window: MeasurementWindow,
     include_host: bool = True,
     include_absorbed: bool = False,
 ) -> ThroughputResult:
@@ -67,7 +82,7 @@ def measure_throughput(
         return done
 
     sim = system.sim
-    deadline = sim.now + max_cycles
+    deadline = sim.now + window.max_cycles
 
     def run_until_completions(target: int) -> None:
         while completions() < target:
@@ -77,7 +92,7 @@ def measure_throughput(
                 )
             sim.step()
 
-    run_until_completions(warmup_packets)
+    run_until_completions(window.warmup_packets)
     t0 = sim.now
     base_tx = [
         (meter.bytes_total, meter.packets_total) for meter in system.tx_meters
@@ -87,7 +102,7 @@ def measure_throughput(
     base_drops = system.total_rx_drops()
     base_rpu = list(system.rpu_packet_counts())
 
-    run_until_completions(warmup_packets + measure_packets)
+    run_until_completions(window.warmup_packets + window.measure_packets)
     elapsed_cycles = sim.now - t0
     seconds = system.config.clock.cycles_to_seconds(elapsed_cycles)
 
@@ -102,14 +117,13 @@ def measure_throughput(
         tx_packets += system.host_meter.packets_total - base_host[1]
     if include_absorbed:
         tx_bytes = sum(mac.counters.value("rx_bytes") for mac in system.macs) - base_absorbed
-        tx_packets = measure_packets
+        tx_packets = window.measure_packets
 
     achieved_gbps = tx_bytes * 8 / seconds / 1e9
     achieved_mpps = tx_packets / seconds / 1e6
     rpu_counts = [
         now - before for now, before in zip(system.rpu_packet_counts(), base_rpu)
     ]
-    total_rpu_packets = sum(rpu_counts)
     cpp = 0.0
     if achieved_mpps > 0:
         cpp = system.config.n_rpus * system.config.clock.freq_hz / (achieved_mpps * 1e6)
@@ -126,6 +140,87 @@ def measure_throughput(
     )
 
 
+def _measure_latency(
+    system: RosebudSystem,
+    sources: Sequence,
+    window: MeasurementWindow,
+) -> Histogram:
+    """Collect the forwarding-latency histogram over a steady window."""
+    for source in sources:
+        source.start()
+    sim = system.sim
+    deadline = sim.now + window.max_cycles
+
+    def run_until(target: int) -> None:
+        while system.counters.value("delivered") < target:
+            if sim.peek() is None or sim.now > deadline:
+                raise RuntimeError("latency run stalled")
+            sim.step()
+
+    run_until(window.warmup_packets)
+    histogram = Histogram("latency_us")
+    original = system.latency_us
+    system.latency_us = histogram
+    run_until(window.warmup_packets + window.measure_packets)
+    system.latency_us = original
+    return histogram
+
+
+# -- deprecated kwarg-bundle entry points ----------------------------------
+
+
+def measure_throughput(
+    system: RosebudSystem,
+    sources: Sequence,
+    packet_size: int,
+    offered_gbps_total: float,
+    warmup_packets: int = 2000,
+    measure_packets: int = 8000,
+    max_cycles: float = 500_000_000,
+    include_host: bool = True,
+    include_absorbed: bool = False,
+) -> ThroughputResult:
+    """Deprecated: measure a live system (use ExperimentSpec instead)."""
+    _deprecated(
+        "measure_throughput(system, sources, ...)",
+        "build an ExperimentSpec and call run_experiment(spec)",
+    )
+    window = MeasurementWindow(
+        warmup_packets=warmup_packets,
+        measure_packets=measure_packets,
+        max_cycles=max_cycles,
+    )
+    return _measure_throughput(
+        system,
+        sources,
+        packet_size,
+        offered_gbps_total,
+        window,
+        include_host=include_host,
+        include_absorbed=include_absorbed,
+    )
+
+
+def measure_latency(
+    system: RosebudSystem,
+    sources: Sequence,
+    warmup_packets: int = 500,
+    measure_packets: int = 2000,
+    max_cycles: float = 500_000_000,
+) -> Histogram:
+    """Deprecated: latency histogram on a live system (use ExperimentSpec)."""
+    _deprecated(
+        "measure_latency(system, sources, ...)",
+        "build an ExperimentSpec with measure='latency' and run it",
+    )
+    window = MeasurementWindow(
+        warmup_packets=warmup_packets,
+        measure_packets=measure_packets,
+        max_cycles=max_cycles,
+    )
+    return _measure_latency(system, sources, window)
+
+
 def forwarding_experiment(
     n_rpus: int,
     packet_size: int,
@@ -139,54 +234,32 @@ def forwarding_experiment(
     include_host: bool = True,
     source_factory: Optional[Callable[[RosebudSystem, int, float], object]] = None,
 ) -> ThroughputResult:
-    """Build a fresh system + sources and measure one point."""
-    from ..traffic.generator import FixedSizeSource
+    """Deprecated: build a system + sources and measure one point.
 
-    cfg = config or RosebudConfig(n_rpus=n_rpus)
-    system = RosebudSystem(cfg, firmware_factory(), lb_policy=lb_policy)
-    per_port = total_gbps / n_ports_used
-    sources = []
-    for port in range(n_ports_used):
-        if source_factory is not None:
-            sources.append(source_factory(system, port, per_port))
-        else:
-            sources.append(
-                FixedSizeSource(system, port, per_port, packet_size, seed=port + 1)
-            )
-    return measure_throughput(
-        system,
-        sources,
-        packet_size,
-        total_gbps,
-        warmup_packets=warmup_packets,
-        measure_packets=measure_packets,
-        include_host=include_host,
+    Thin wrapper over :class:`ExperimentSpec`; prefer constructing the
+    spec directly (it is cacheable and pool-dispatchable).
+    """
+    _deprecated(
+        "forwarding_experiment(...)",
+        "build an ExperimentSpec and call run_experiment(spec)",
     )
+    spec = ExperimentSpec(
+        config=config or RosebudConfig(n_rpus=n_rpus),
+        firmware=firmware_factory,
+        traffic=TrafficProfile(
+            packet_size=packet_size,
+            offered_gbps=total_gbps,
+            n_ports=n_ports_used,
+        ),
+        window=MeasurementWindow(
+            warmup_packets=warmup_packets, measure_packets=measure_packets
+        ),
+        lb=lb_policy,
+        include_host=include_host,
+        source_factory=source_factory,
+    )
+    from .engine import run_experiment
 
-
-def measure_latency(
-    system: RosebudSystem,
-    sources: Sequence,
-    warmup_packets: int = 500,
-    measure_packets: int = 2000,
-    max_cycles: float = 500_000_000,
-) -> Histogram:
-    """Collect the forwarding-latency histogram over a steady window."""
-    for source in sources:
-        source.start()
-    sim = system.sim
-    deadline = sim.now + max_cycles
-
-    def run_until(target: int) -> None:
-        while system.counters.value("delivered") < target:
-            if sim.peek() is None or sim.now > deadline:
-                raise RuntimeError("latency run stalled")
-            sim.step()
-
-    run_until(warmup_packets)
-    histogram = Histogram("latency_us")
-    original = system.latency_us
-    system.latency_us = histogram
-    run_until(warmup_packets + measure_packets)
-    system.latency_us = original
-    return histogram
+    result = run_experiment(spec)
+    assert result.throughput is not None
+    return result.throughput

@@ -8,54 +8,85 @@ This module provides the equivalent entry points::
     python -m repro.cli latency   --sizes 64,512,1500
     python -m repro.cli firewall  --size 512
     python -m repro.cli ids       --mode hw --size 800
+    python -m repro.cli sweep     --sizes 64,512,1500 --rpu-set 8,16 --jobs 4
     python -m repro.cli resources --rpus 16
     python -m repro.cli trace     --kind firewall --out attack.pcap
+
+Every measurement subcommand shares one parent parser (``--rpus``,
+``--size``, ``--gbps``, ``--lb``, ``--warmup``, ``--packets``) and
+builds its point as an :class:`~repro.analysis.ExperimentSpec`, so the
+CLI, the harness, and the parallel engine construct systems the same
+way.  ``sweep`` fans a grid out over a worker pool (``--jobs``) with
+an optional on-disk result cache (``--cache-dir``).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
 from .accel.pigasus import generate_ruleset, parse_rules
 from .analysis import (
+    ExperimentSpec,
+    MeasurementWindow,
+    SweepRunner,
+    SweepResult,
+    TrafficProfile,
     estimated_latency_us,
     format_table,
     format_utilization_row,
-    forwarding_experiment,
-    measure_latency,
-    measure_throughput,
+    run_experiment,
 )
-from .core import HashLB, RosebudConfig, RosebudSystem
+from .core import RosebudConfig
 from .firmware import (
     FirewallFirmware,
     ForwarderFirmware,
+    NatFirmware,
     PigasusHwReorderFirmware,
     PigasusSwReorderFirmware,
+    TwoStepForwarder,
 )
 from .hw import FpgaDevice, VU9P_CAPACITY
 from .packet import write_pcap
-from .traffic import (
-    FixedSizeSource,
-    FlowTrafficSource,
-    attack_trace_from_rules,
-    firewall_trace,
-)
+from .traffic import attack_trace_from_rules, firewall_trace
+
+LB_CHOICES = ["none", "hash", "rr", "p2c", "least"]
 
 
 def _parse_sizes(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
 
+def _parse_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _lb(args: argparse.Namespace, default: Optional[str] = None) -> Optional[str]:
+    choice = getattr(args, "lb", None) or default
+    return None if choice in (None, "none") else choice
+
+
+def _window(args: argparse.Namespace) -> MeasurementWindow:
+    return MeasurementWindow(
+        warmup_packets=args.warmup, measure_packets=args.packets
+    )
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Forwarding throughput for one (rpus, size, rate) point."""
-    result = forwarding_experiment(
-        args.rpus, args.size, args.gbps, ForwarderFirmware,
-        n_ports_used=args.ports,
-        warmup_packets=args.warmup, measure_packets=args.packets,
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=ForwarderFirmware,
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=args.ports
+        ),
+        window=_window(args),
+        lb=_lb(args),
     )
+    result = run_experiment(spec).throughput
     print(format_table(
         ["RPUs", "size(B)", "offered Gbps", "achieved Gbps", "MPPS", "% of line"],
         [[args.rpus, args.size, args.gbps, result.achieved_gbps,
@@ -69,11 +100,20 @@ def cmd_latency(args: argparse.Namespace) -> int:
     """Low-load forwarding latency vs Eq. 1 for a size sweep."""
     rows = []
     for size in _parse_sizes(args.sizes):
-        system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), ForwarderFirmware())
-        sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
-        hist = measure_latency(system, sources, warmup_packets=50,
-                               measure_packets=args.packets)
-        rows.append([size, hist.mean, estimated_latency_us(size)])
+        spec = ExperimentSpec(
+            config=RosebudConfig(n_rpus=args.rpus),
+            firmware=ForwarderFirmware,
+            traffic=TrafficProfile(
+                packet_size=size, offered_gbps=2.0, n_ports=2
+            ),
+            window=MeasurementWindow(
+                warmup_packets=50, measure_packets=args.packets
+            ),
+            lb=_lb(args),
+            measure="latency",
+        )
+        summary = run_experiment(spec).latency
+        rows.append([size, summary["mean"], estimated_latency_us(size)])
     print(format_table(
         ["size(B)", "measured us", "Eq.1 us"], rows, title="forwarding latency"
     ))
@@ -84,21 +124,24 @@ def cmd_firewall(args: argparse.Namespace) -> int:
     """The §7.2 firewall at one packet size."""
     prefixes = parse_blacklist(generate_blacklist(args.rules))
     matcher = IpBlacklistMatcher(prefixes)
-    system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), FirewallFirmware(matcher))
-    sources = [
-        FixedSizeSource(system, port, 100.0, args.size,
-                        respect_generator_cap=False, seed=port + 1)
-        for port in range(2)
-    ]
-    result = measure_throughput(
-        system, sources, args.size, 200.0,
-        warmup_packets=args.warmup, measure_packets=args.packets,
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=FirewallFirmware,
+        firmware_args=(matcher,),
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=2,
+            respect_generator_cap=False,
+        ),
+        window=_window(args),
+        lb=_lb(args),
         include_absorbed=True,
     )
+    outcome = run_experiment(spec)
+    result = outcome.throughput
     print(format_table(
         ["size(B)", "absorbed Gbps", "% of line", "fw drops"],
         [[args.size, result.achieved_gbps, 100 * result.fraction_of_line,
-          system.counters.value("dropped_by_firmware")]],
+          outcome.counters.get("dropped_by_firmware", 0)]],
         title=f"firewall ({args.rules} blacklist entries, {args.rpus} RPUs)",
     ))
     return 0
@@ -109,30 +152,119 @@ def cmd_ids(args: argparse.Namespace) -> int:
     rules = parse_rules(generate_ruleset(args.rules))
     payloads = [r.content for r in rules]
     if args.mode == "hw":
-        firmware, lb = PigasusHwReorderFirmware(rules), None
+        firmware, lb = PigasusHwReorderFirmware, _lb(args)
     else:
-        firmware, lb = PigasusSwReorderFirmware(rules), HashLB(args.rpus)
-    system = RosebudSystem(
-        RosebudConfig(n_rpus=args.rpus, slots_per_rpu=32), firmware, lb_policy=lb
+        firmware, lb = PigasusSwReorderFirmware, _lb(args, default="hash")
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus, slots_per_rpu=32),
+        firmware=firmware,
+        firmware_args=(rules,),
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=2,
+            source="flows", respect_generator_cap=False,
+            source_kwargs={
+                "attack_fraction": 0.01,
+                "attack_payloads": tuple(payloads),
+                "reorder_fraction": 0.003,
+                "n_flows": 2048,
+            },
+        ),
+        window=_window(args),
+        lb=lb,
     )
-    sources = [
-        FlowTrafficSource(system, port, 100.0, args.size,
-                          attack_fraction=0.01, attack_payloads=payloads,
-                          reorder_fraction=0.003, n_flows=2048,
-                          seed=port + 1, respect_generator_cap=False)
-        for port in range(2)
-    ]
-    result = measure_throughput(
-        system, sources, args.size, 200.0,
-        warmup_packets=args.warmup, measure_packets=args.packets,
-    )
+    outcome = run_experiment(spec)
+    result = outcome.throughput
     print(format_table(
         ["mode", "size(B)", "Gbps", "MPPS", "cycles/pkt", "to host"],
         [[args.mode, args.size, result.achieved_gbps, result.achieved_mpps,
-          result.cycles_per_packet, system.counters.value("to_host")]],
+          result.cycles_per_packet, outcome.counters.get("to_host", 0)]],
         title=f"pigasus IPS ({args.rules} rules, {args.rpus} RPUs)",
     ))
     return 0
+
+
+FIRMWARE_CHOICES = {
+    "forwarder": ForwarderFirmware,
+    "nat": NatFirmware,
+}
+
+
+def _sweep_spec(args: argparse.Namespace, rpus: int, size: int, gbps: float) -> ExperimentSpec:
+    return ExperimentSpec(
+        config=RosebudConfig(n_rpus=rpus),
+        firmware=FIRMWARE_CHOICES[args.firmware],
+        traffic=TrafficProfile(
+            packet_size=size, offered_gbps=gbps, n_ports=args.ports
+        ),
+        window=_window(args),
+        lb=_lb(args, default="hash" if args.firmware == "nat" else None),
+        name=f"{args.firmware} rpus={rpus} size={size} gbps={gbps:g}",
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (rpus x size x gbps) grid through the parallel engine."""
+    sizes = _parse_sizes(args.sizes)
+    rpu_set = _parse_sizes(args.rpu_set)
+    gbps_set = _parse_floats(args.gbps_set)
+    specs = [
+        _sweep_spec(args, rpus, size, gbps)
+        for rpus in rpu_set
+        for size in sizes
+        for gbps in gbps_set
+    ]
+    if not specs:
+        print("sweep: empty grid (check --sizes/--rpu-set/--gbps-set)",
+              file=sys.stderr)
+        return 2
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            point_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    outcome = runner.run(specs)
+    rows = []
+    csv_rows: List[Dict[str, Any]] = []
+    for point in outcome:
+        spec = point.spec
+        if point.ok:
+            t = point.result.throughput
+            rows.append([
+                spec.config.n_rpus, t.packet_size, t.offered_gbps,
+                t.achieved_gbps, t.achieved_mpps, 100 * t.fraction_of_line,
+                point.status,
+            ])
+            csv_rows.append({
+                "rpus": spec.config.n_rpus,
+                "size": t.packet_size,
+                "offered_gbps": t.offered_gbps,
+                "achieved_gbps": t.achieved_gbps,
+                "achieved_mpps": t.achieved_mpps,
+                "pct_of_line": 100 * t.fraction_of_line,
+                "status": point.status,
+            })
+        else:
+            rows.append([
+                spec.config.n_rpus, spec.traffic.packet_size,
+                spec.traffic.offered_gbps, "-", "-", "-", point.status,
+            ])
+    print(format_table(
+        ["RPUs", "size(B)", "offered Gbps", "Gbps", "MPPS", "% of line", "status"],
+        rows,
+        title=(
+            f"{args.firmware} sweep ({len(specs)} points, jobs={args.jobs}, "
+            f"{runner.stats['cached']} cached, {runner.stats['simulated']} simulated)"
+        ),
+    ))
+    if args.out and csv_rows:
+        columns = list(csv_rows[0].keys())
+        SweepResult(columns=columns, rows=csv_rows).to_csv(args.out)
+        print(f"wrote {len(csv_rows)} rows to {args.out}")
+    return 0 if not outcome.failed else 1
 
 
 def cmd_resources(args: argparse.Namespace) -> int:
@@ -171,48 +303,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_nat(args: argparse.Namespace) -> int:
     """Run the NAT middlebox at one packet size."""
-    from .core import HashLB
-    from .firmware import NatFirmware
-
-    system = RosebudSystem(
-        RosebudConfig(n_rpus=args.rpus), NatFirmware(), lb_policy=HashLB(args.rpus)
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=NatFirmware,
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=1,
+            respect_generator_cap=False,
+        ),
+        window=_window(args),
+        lb=_lb(args, default="hash"),
     )
-    sources = [
-        FixedSizeSource(system, 0, 100.0, args.size,
-                        respect_generator_cap=False, seed=1)
-    ]
-    result = measure_throughput(
-        system, sources, args.size, 100.0,
-        warmup_packets=args.warmup, measure_packets=args.packets,
-    )
-    translated = sum(
-        getattr(rpu.firmware, "translated", 0) for rpu in system.rpus
-    )
+    outcome = run_experiment(spec)
+    result = outcome.throughput
     print(format_table(
         ["size(B)", "Gbps", "MPPS", "translated"],
-        [[args.size, result.achieved_gbps, result.achieved_mpps, translated]],
-        title=f"NAT middlebox ({args.rpus} RPUs, hash LB)",
+        [[args.size, result.achieved_gbps, result.achieved_mpps,
+          outcome.firmware_totals.get("translated", 0)]],
+        title=f"NAT middlebox ({args.rpus} RPUs, {spec.lb or 'hash'} LB)",
     ))
     return 0
 
 
+def _loopback_setup(n_rpus: int, system) -> None:
+    system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << (n_rpus // 2)) - 1)
+
+
 def cmd_loopback(args: argparse.Namespace) -> int:
     """The §6.3 two-step-forwarding loopback measurement."""
-    from .firmware import TwoStepForwarder
-
-    system = RosebudSystem(RosebudConfig(n_rpus=args.rpus), TwoStepForwarder(args.rpus))
-    system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << (args.rpus // 2)) - 1)
-    sources = [
-        FixedSizeSource(system, 0, 100.0, args.size, respect_generator_cap=False)
-    ]
-    result = measure_throughput(
-        system, sources, args.size, 100.0,
-        warmup_packets=args.warmup, measure_packets=args.packets,
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=TwoStepForwarder,
+        firmware_args=(args.rpus,),
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=1,
+            respect_generator_cap=False, seed_base=1,
+        ),
+        window=_window(args),
+        setup=functools.partial(_loopback_setup, args.rpus),
     )
+    outcome = run_experiment(spec)
+    result = outcome.throughput
     print(format_table(
         ["size(B)", "Gbps", "% of line", "loopbacked"],
         [[args.size, result.achieved_gbps, 100 * result.fraction_of_line,
-          system.counters.value("loopbacked")]],
+          outcome.counters.get("loopbacked", 0)]],
         title="two-step forwarding over the loopback port",
     ))
     return 0
@@ -267,64 +401,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, rpus=16):
-        p.add_argument("--rpus", type=int, default=rpus)
-        p.add_argument("--warmup", type=int, default=800)
-        p.add_argument("--packets", type=int, default=3000)
+    # One parent parser so every experiment subcommand accepts the same
+    # point-selection flags with the same spellings.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--rpus", type=int, default=16, help="number of RPUs")
+    common.add_argument("--size", type=int, default=512, help="packet size, bytes")
+    common.add_argument("--gbps", type=float, default=200.0,
+                        help="total offered rate, Gbps")
+    common.add_argument("--lb", choices=LB_CHOICES, default=None,
+                        help="load-balancer policy override")
+    common.add_argument("--warmup", type=int, default=800,
+                        help="warmup packets before the window")
+    common.add_argument("--packets", type=int, default=3000,
+                        help="packets in the measurement window")
 
-    p = sub.add_parser("profile", help="forwarding throughput point")
-    common(p)
-    p.add_argument("--size", type=int, default=512)
-    p.add_argument("--gbps", type=float, default=200.0)
+    p = sub.add_parser("profile", parents=[common],
+                       help="forwarding throughput point")
     p.add_argument("--ports", type=int, default=2)
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("latency", help="latency sweep vs Eq.1")
-    p.add_argument("--rpus", type=int, default=16)
+    p = sub.add_parser("latency", parents=[common], help="latency sweep vs Eq.1")
     p.add_argument("--sizes", default="64,512,1500")
-    p.add_argument("--packets", type=int, default=200)
-    p.set_defaults(func=cmd_latency)
+    p.set_defaults(func=cmd_latency, packets=200)
 
-    p = sub.add_parser("firewall", help="firewall case study point")
-    common(p)
-    p.add_argument("--size", type=int, default=512)
+    p = sub.add_parser("firewall", parents=[common],
+                       help="firewall case study point")
     p.add_argument("--rules", type=int, default=1050)
     p.set_defaults(func=cmd_firewall)
 
-    p = sub.add_parser("ids", help="pigasus IPS case study point")
-    common(p, rpus=8)
+    p = sub.add_parser("ids", parents=[common], help="pigasus IPS case study point")
     p.add_argument("--mode", choices=["hw", "sw"], default="hw")
-    p.add_argument("--size", type=int, default=800)
     p.add_argument("--rules", type=int, default=120)
-    p.set_defaults(func=cmd_ids)
+    p.set_defaults(func=cmd_ids, rpus=8, size=800)
 
-    p = sub.add_parser("resources", help="utilization report")
-    p.add_argument("--rpus", type=int, default=16)
+    p = sub.add_parser("sweep", parents=[common],
+                       help="grid sweep through the parallel engine")
+    p.add_argument("--firmware", choices=sorted(FIRMWARE_CHOICES), default="forwarder")
+    p.add_argument("--sizes", default="64,512,1500",
+                   help="comma-separated packet sizes")
+    p.add_argument("--rpu-set", default="16", help="comma-separated RPU counts")
+    p.add_argument("--gbps-set", default="200", help="comma-separated offered rates")
+    p.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    p.add_argument("--ports", type=int, default=2)
+    p.add_argument("--cache-dir", default=None,
+                   help="skip points already measured into this directory")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock limit, seconds")
+    p.add_argument("--out", default=None, help="CSV path for the rows")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("resources", parents=[common], help="utilization report")
     p.set_defaults(func=cmd_resources)
 
-    p = sub.add_parser("nat", help="NAT middlebox point")
-    common(p, rpus=8)
-    p.add_argument("--size", type=int, default=512)
-    p.set_defaults(func=cmd_nat)
+    p = sub.add_parser("nat", parents=[common], help="NAT middlebox point")
+    p.set_defaults(func=cmd_nat, rpus=8, gbps=100.0)
 
-    p = sub.add_parser("loopback", help="two-step loopback measurement")
-    common(p)
-    p.add_argument("--size", type=int, default=128)
-    p.set_defaults(func=cmd_loopback)
+    p = sub.add_parser("loopback", parents=[common],
+                       help="two-step loopback measurement")
+    p.set_defaults(func=cmd_loopback, size=128, gbps=100.0)
 
-    p = sub.add_parser("disasm", help="disassemble firmware")
+    p = sub.add_parser("disasm", parents=[common], help="disassemble firmware")
     p.add_argument("target", help="builtin name (forwarder/firewall/pigasus) or .rfw file")
     p.set_defaults(func=cmd_disasm)
 
-    p = sub.add_parser("image", help="build an RFW firmware image")
+    p = sub.add_parser("image", parents=[common], help="build an RFW firmware image")
     p.add_argument("firmware", help="builtin name (forwarder/firewall/pigasus)")
     p.add_argument("--out", default="firmware.rfw")
     p.set_defaults(func=cmd_image)
 
-    p = sub.add_parser("trace", help="generate an attack pcap")
+    p = sub.add_parser("trace", parents=[common], help="generate an attack pcap")
     p.add_argument("--kind", choices=["firewall", "ids"], default="firewall")
     p.add_argument("--rules", type=int, default=100)
-    p.add_argument("--size", type=int, default=512)
     p.add_argument("--out", default="attack.pcap")
     p.set_defaults(func=cmd_trace)
 

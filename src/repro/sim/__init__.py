@@ -11,7 +11,7 @@ from .clock import (
     serialization_ns,
     wire_bytes,
 )
-from .kernel import Event, SimulationError, Simulator
+from .kernel import Event, SimProfile, SimulationError, Simulator
 from .resources import BoundedFifo, PriorityArbiter, RoundRobinArbiter, SerialLink
 from .stats import Counter, CounterSet, Histogram, RateMeter, ThroughputSample
 
@@ -26,6 +26,7 @@ __all__ = [
     "serialization_ns",
     "wire_bytes",
     "Event",
+    "SimProfile",
     "SimulationError",
     "Simulator",
     "BoundedFifo",

@@ -1,26 +1,41 @@
 """Discrete-event simulation kernel.
 
-The kernel is deliberately small: a priority queue of timestamped events,
-plus a handful of conveniences (named processes, stop conditions, a
-monotonically increasing event sequence number so same-time events fire
-in schedule order).
+The kernel is deliberately small: timestamped events ordered by
+``(time, seq)``, plus a handful of conveniences (named processes, stop
+conditions, a monotonically increasing event sequence number so
+same-time events fire in schedule order).
+
+Internally events are *batched by timestamp*: the heap orders only the
+distinct pending times, and every event sharing a timestamp lives in a
+FIFO bucket behind that heap entry.  Middlebox simulations schedule
+many same-cycle events (one per packet per pipeline stage), so this
+cuts heap traffic by the average bucket size while preserving the
+exact ``(time, seq)`` firing order.  Cancelled events are skipped when
+their bucket drains and compacted wholesale once they exceed a
+fraction of the pending set, so a workload that cancels aggressively
+(e.g. timeout timers) cannot bloat the queue.
 
 Time is kept in *cycles* of the Rosebud fabric clock by convention
 (250 MHz => 4 ns per cycle), but the kernel itself is unit-agnostic; the
 :mod:`repro.sim.clock` helpers convert between cycles, nanoseconds, and
 throughput figures.
+
+Invariant: :attr:`Simulator.events_processed` counts only *fired*
+callbacks.  Cancelled events never contribute, no matter where in the
+queue they were skipped or compacted away.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised when the kernel is used inconsistently (e.g. scheduling in
-    the past)."""
+    the past) or a driven process dies."""
 
 
 @dataclass(order=True)
@@ -36,14 +51,48 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.
 
-        Cancelled events stay in the heap but are skipped when popped;
-        this is O(1) and avoids heap surgery.
+        Cancelled events stay queued but are skipped when their bucket
+        drains; this is O(1) and avoids heap surgery.  The owning
+        simulator counts them and compacts the queue when they pile up.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
+
+
+@dataclass
+class SimProfile:
+    """What :meth:`Simulator.run_profile` measured."""
+
+    events_processed: int
+    wall_seconds: float
+    events_per_sec: float
+    top_events: List[Tuple[str, int]]
+
+    def format(self) -> str:
+        lines = [
+            f"events processed : {self.events_processed}",
+            f"wall seconds     : {self.wall_seconds:.4f}",
+            f"events/sec       : {self.events_per_sec:,.0f}",
+        ]
+        for name, count in self.top_events:
+            lines.append(f"  {name or '<unnamed>':24s} {count}")
+        return "\n".join(lines)
+
+
+#: Compact once cancelled events exceed this fraction of the pending set
+#: (and the absolute floor below, so tiny queues never bother).
+COMPACT_FRACTION = 0.5
+COMPACT_MIN_CANCELLED = 64
+
+_EMPTY: List[Event] = []
 
 
 class Simulator:
@@ -57,12 +106,23 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        # Distinct pending times; each has exactly one FIFO bucket in
+        # _buckets, except the time currently promoted to _batch.
+        self._times: List[float] = []
+        self._buckets: Dict[float, List[Event]] = {}
+        # The bucket currently being drained (always holds the minimum
+        # pending time; see schedule_at's de-promotion path).
+        self._batch: List[Event] = _EMPTY
+        self._batch_pos = 0
+        self._batch_time: Optional[float] = None
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self._n_pending = 0  # live (non-cancelled) events queued
+        self._n_cancelled = 0  # cancelled events still stored
         self.events_processed = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -85,28 +145,140 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, name=name)
+        event = Event(time=time, seq=self._seq, callback=callback, name=name, _sim=self)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._n_pending += 1
+        batch_time = self._batch_time
+        if batch_time is not None:
+            if time == batch_time:
+                # Same timestamp as the active batch: appending keeps
+                # (time, seq) order because every batched event has a
+                # smaller seq.
+                self._batch.append(event)
+                self._maybe_compact()
+                return event
+            if time < batch_time:
+                # Scheduled (from outside a callback) before the batch
+                # we already promoted: push the batch back and let the
+                # heap re-order.  Rare, so the slice is acceptable.
+                self._demote_batch()
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._maybe_compact()
         return event
 
+    def _demote_batch(self) -> None:
+        remaining = self._batch[self._batch_pos :]
+        if remaining:
+            assert self._batch_time is not None
+            existing = self._buckets.get(self._batch_time)
+            if existing is None:
+                self._buckets[self._batch_time] = remaining
+                heapq.heappush(self._times, self._batch_time)
+            else:  # pragma: no cover - batch time never coexists with a bucket
+                existing.extend(remaining)
+        self._batch = _EMPTY
+        self._batch_pos = 0
+        self._batch_time = None
+
+    def _note_cancel(self) -> None:
+        self._n_cancelled += 1
+        self._n_pending -= 1
+
+    def _maybe_compact(self) -> None:
+        if self._n_cancelled < COMPACT_MIN_CANCELLED:
+            return
+        if self._n_cancelled <= COMPACT_FRACTION * (
+            self._n_pending + self._n_cancelled
+        ):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled event still stored and rebuild the queue.
+
+        Runs automatically once cancelled events exceed
+        ``COMPACT_FRACTION`` of the pending set; callable directly for
+        tests and long-idle housekeeping.
+        """
+        if self._batch_time is not None:
+            live_batch = [
+                e for e in self._batch[self._batch_pos :] if not e.cancelled
+            ]
+            if live_batch:
+                self._batch = live_batch
+                self._batch_pos = 0
+            else:
+                self._batch = _EMPTY
+                self._batch_pos = 0
+                self._batch_time = None
+        buckets: Dict[float, List[Event]] = {}
+        for time_key, bucket in self._buckets.items():
+            live = [e for e in bucket if not e.cancelled]
+            if live:
+                buckets[time_key] = live
+        self._buckets = buckets
+        self._times = list(buckets.keys())
+        heapq.heapify(self._times)
+        self._n_cancelled = 0
+        self.compactions += 1
+
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        """Time of the next pending event, or None if the queue is empty.
+
+        Skipped cancelled events are discarded as a side effect, so
+        repeated peeks stay O(1) amortized.
+        """
+        while True:
+            batch = self._batch
+            pos = self._batch_pos
+            n = len(batch)
+            while pos < n:
+                event = batch[pos]
+                if event.cancelled:
+                    pos += 1
+                    self._n_cancelled -= 1
+                    continue
+                self._batch_pos = pos
+                return event.time
+            self._batch_pos = pos
+            if not self._times:
+                self._batch = _EMPTY
+                self._batch_pos = 0
+                self._batch_time = None
+                return None
+            next_time = heapq.heappop(self._times)
+            self._batch = self._buckets.pop(next_time)
+            self._batch_pos = 0
+            self._batch_time = next_time
+
+    def _pop_next(self) -> Optional[Event]:
+        """The next live event, already removed from the queue."""
+        if self.peek() is None:
+            return None
+        event = self._batch[self._batch_pos]
+        self._batch_pos += 1
+        self._n_pending -= 1
+        return event
 
     def step(self) -> bool:
-        """Run the single next event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.events_processed += 1
-            event.callback()
-            return True
-        return False
+        """Run the single next event.  Returns False if none remain.
+
+        ``events_processed`` counts only fired callbacks; events that
+        were cancelled before firing are purged here without touching
+        the counter.
+        """
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self.events_processed += 1
+        event.callback()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or
@@ -128,13 +300,68 @@ class Simulator:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                self.step()
+                event = self._batch[self._batch_pos]
+                self._batch_pos += 1
+                self._n_pending -= 1
+                self._now = event.time
+                self.events_processed += 1
+                event.callback()
                 processed += 1
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
+
+    def run_profile(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        top: int = 10,
+    ) -> SimProfile:
+        """Like :meth:`run`, but measure events/sec and count event names.
+
+        Returns a :class:`SimProfile` with wall-clock dispatch rate and
+        the ``top`` most frequent event names — the probe the benchmark
+        suite tracks so kernel regressions surface as a number.
+        """
+        counts: Dict[str, int] = {}
+        fired_before = self.events_processed
+        self._running = True
+        self._stopped = False
+        processed = 0
+        t0 = _time.perf_counter()
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._batch[self._batch_pos]
+                self._batch_pos += 1
+                self._n_pending -= 1
+                self._now = event.time
+                self.events_processed += 1
+                name = event.name
+                counts[name] = counts.get(name, 0) + 1
+                event.callback()
+                processed += 1
+        finally:
+            self._running = False
+        wall = _time.perf_counter() - t0
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        fired = self.events_processed - fired_before
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return SimProfile(
+            events_processed=fired,
+            wall_seconds=wall,
+            events_per_sec=fired / wall if wall > 0 else 0.0,
+            top_events=ranked[:top],
+        )
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event."""
@@ -153,6 +380,11 @@ class Simulator:
                     yield 5.0
 
             sim.process(blinker())
+
+        If the generator raises, the error is re-raised as
+        :class:`SimulationError` naming the process, so a crash deep in
+        a :meth:`run` points at the process that died instead of an
+        anonymous callback.
         """
 
         def resume() -> None:
@@ -160,6 +392,12 @@ class Simulator:
                 delay = next(generator)
             except StopIteration:
                 return
+            except SimulationError:
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"process {name!r} died with {type(exc).__name__}: {exc}"
+                ) from exc
             if delay < 0:
                 raise SimulationError(f"process {name!r} yielded negative delay")
             self.schedule(delay, resume, name=name)

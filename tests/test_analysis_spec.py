@@ -1,0 +1,163 @@
+"""Tests for the unified ExperimentSpec API."""
+
+import json
+import pickle
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    ExperimentSpec,
+    MeasurementWindow,
+    SpecError,
+    TrafficProfile,
+    run_experiment,
+)
+from repro.analysis.harness import (
+    ThroughputResult,
+    forwarding_experiment,
+    measure_latency,
+    measure_throughput,
+)
+from repro.core import RosebudConfig, RosebudSystem
+from repro.firmware import ForwarderFirmware
+from repro.traffic import FixedSizeSource
+
+FAST = MeasurementWindow(warmup_packets=200, measure_packets=500)
+
+
+def _spec(**changes):
+    base = ExperimentSpec(
+        config=RosebudConfig(n_rpus=8),
+        traffic=TrafficProfile(packet_size=512, offered_gbps=100.0),
+        window=FAST,
+    )
+    return base.with_(**changes) if changes else base
+
+
+class TestSpecConstruction:
+    def test_defaults_build_forwarder(self):
+        spec = ExperimentSpec()
+        system = spec.build_system()
+        assert system.config.n_rpus == 16
+        sources = spec.build_sources(system)
+        assert len(sources) == 2
+        assert sources[0].offered_gbps == pytest.approx(100.0)
+
+    def test_seed_base_decorrelates_ports(self):
+        spec = _spec(traffic=TrafficProfile(seed_base=7, n_ports=2))
+        system = spec.build_system()
+        s0, s1 = spec.build_sources(system)
+        assert s0._templates != s1._templates
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SpecError):
+            _spec(traffic=TrafficProfile(source="bogus"))
+
+    def test_unknown_lb_rejected(self):
+        with pytest.raises(SpecError):
+            _spec(lb="bogus")
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(SpecError):
+            _spec(measure="power")
+
+    def test_lb_registry_builds_policy(self):
+        from repro.core import HashLB
+
+        spec = _spec(lb="hash")
+        assert isinstance(spec.build_lb(), HashLB)
+
+    def test_spec_is_picklable(self):
+        spec = _spec(lb="hash")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.cache_key() == spec.cache_key()
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert _spec().cache_key() == _spec().cache_key()
+
+    def test_sensitive_to_config(self):
+        assert _spec().cache_key() != _spec(config=RosebudConfig(n_rpus=16)).cache_key()
+
+    def test_sensitive_to_traffic_and_window(self):
+        assert (
+            _spec().cache_key()
+            != _spec(traffic=TrafficProfile(packet_size=1024)).cache_key()
+        )
+        assert (
+            _spec().cache_key()
+            != _spec(window=MeasurementWindow(warmup_packets=1)).cache_key()
+        )
+
+    def test_sensitive_to_firmware_args(self):
+        from repro.firmware import TwoStepForwarder
+
+        a = _spec(firmware=TwoStepForwarder, firmware_args=(8,))
+        b = _spec(firmware=TwoStepForwarder, firmware_args=(16,))
+        assert a.cache_key() != b.cache_key()
+
+    def test_to_dict_is_json_safe(self):
+        payload = json.dumps(_spec(lb="hash").to_dict())
+        assert "ForwarderFirmware" in payload
+
+
+class TestRunExperiment:
+    def test_throughput_point(self):
+        outcome = run_experiment(_spec())
+        assert isinstance(outcome, ExperimentResult)
+        assert outcome.throughput.achieved_gbps > 50
+        assert outcome.counters.get("delivered", 0) > 0
+        assert outcome.spec_key == _spec().cache_key()
+
+    def test_latency_point(self):
+        spec = _spec(
+            traffic=TrafficProfile(packet_size=512, offered_gbps=2.0),
+            window=MeasurementWindow(warmup_packets=50, measure_packets=100),
+            measure="latency",
+        )
+        outcome = run_experiment(spec)
+        assert outcome.throughput is None
+        assert outcome.latency["count"] == 100
+        assert outcome.latency["mean"] > 0
+
+    def test_result_round_trips_through_json(self):
+        outcome = run_experiment(_spec())
+        clone = ExperimentResult.from_dict(
+            json.loads(json.dumps(outcome.to_dict()))
+        )
+        assert clone.throughput == outcome.throughput
+        assert clone.counters == outcome.counters
+
+
+class TestDeprecatedWrappers:
+    def test_forwarding_experiment_warns_and_matches_spec_path(self):
+        with pytest.warns(DeprecationWarning):
+            old = forwarding_experiment(
+                8, 512, 100.0, ForwarderFirmware,
+                warmup_packets=200, measure_packets=500,
+            )
+        new = run_experiment(_spec()).throughput
+        assert old == new  # byte-identical: same spec, same construction path
+
+    def test_measure_throughput_warns(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=8), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 50.0, 512, seed=p + 1) for p in range(2)]
+        with pytest.warns(DeprecationWarning):
+            result = measure_throughput(
+                system, sources, 512, 100.0,
+                warmup_packets=200, measure_packets=500,
+            )
+        assert isinstance(result, ThroughputResult)
+        assert result.achieved_gbps > 50
+
+    def test_measure_latency_warns(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=8), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 1.0, 512, seed=p + 1) for p in range(2)]
+        with pytest.warns(DeprecationWarning):
+            hist = measure_latency(
+                system, sources, warmup_packets=50, measure_packets=100
+            )
+        assert hist.count == 100

@@ -57,6 +57,39 @@ class TestCaseStudies:
         assert "sw" in capsys.readouterr().out
 
 
+class TestSweep:
+    def test_sweep_grid_with_pool_and_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--sizes", "512,1024", "--rpu-set", "8",
+            "--jobs", "2", "--warmup", "150", "--packets", "400",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "sweep.csv"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out and "2 simulated" in out
+        assert (tmp_path / "sweep.csv").exists()
+        # second run: every point served from the cache
+        assert main(argv[:-2]) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out and "0 simulated" in out
+
+    def test_common_flags_accepted_everywhere(self):
+        # the shared parent parser: --rpus/--size/--gbps/--lb parse on
+        # every experiment subcommand
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("profile", "latency", "firewall", "ids", "nat",
+                        "loopback", "sweep", "resources", "trace"):
+            args = parser.parse_args([
+                command, "--rpus", "8", "--size", "256", "--gbps", "100",
+                "--lb", "hash",
+            ])
+            assert args.rpus == 8 and args.size == 256
+            assert args.gbps == 100.0 and args.lb == "hash"
+
+
 class TestResourcesAndTrace:
     def test_resources_16(self, capsys):
         assert main(["resources", "--rpus", "16"]) == 0

@@ -131,6 +131,112 @@ class TestCancellation:
         event.cancel()
         assert sim.peek() == 10
 
+    def test_events_processed_excludes_cancelled(self):
+        # Invariant: events_processed counts only fired callbacks.
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(5, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.schedule(6, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_mass_cancellation_triggers_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None, name="timer") for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        # One more schedule gives the kernel a chance to notice the pileup.
+        sim.schedule(1000, lambda: None)
+        assert sim.compactions >= 1
+        sim.run()
+        assert sim.events_processed == 101
+
+    def test_explicit_compact_preserves_order(self):
+        sim = Simulator()
+        order = []
+        keep = [sim.schedule(5, lambda i=i: order.append(i)) for i in range(4)]
+        doomed = [sim.schedule(5, lambda: order.append("x")) for _ in range(4)]
+        for event in doomed:
+            event.cancel()
+        sim.compact()
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert keep[0].cancelled is False
+
+
+class TestBatching:
+    def test_same_time_batch_with_nested_same_time_schedules(self):
+        # Events scheduled at the current time from inside a callback
+        # fire in the same timestamp, after all earlier-seq events.
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0, lambda: order.append("nested"))
+
+        sim.schedule(5, first)
+        sim.schedule(5, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_external_schedule_before_promoted_batch(self):
+        # peek() promotes the earliest bucket; scheduling an even
+        # earlier event afterwards must still fire first.
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("late"))
+        assert sim.peek() == 10
+        sim.schedule(5, lambda: order.append("early"))
+        assert sim.peek() == 5
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_interleaved_batches_deterministic(self):
+        sim = Simulator()
+        order = []
+        for i in range(3):
+            sim.schedule(1, lambda i=i: order.append(("a", i)))
+            sim.schedule(2, lambda i=i: order.append(("b", i)))
+            sim.schedule(1, lambda i=i: order.append(("c", i)))
+        sim.run()
+        assert order == [
+            ("a", 0), ("c", 0), ("a", 1), ("c", 1), ("a", 2), ("c", 2),
+            ("b", 0), ("b", 1), ("b", 2),
+        ]
+
+
+class TestRunProfile:
+    def test_profile_reports_rate_and_names(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule(i, lambda: None, name="tick")
+        for i in range(10):
+            sim.schedule(i + 0.5, lambda: None, name="tock")
+        profile = sim.run_profile()
+        assert profile.events_processed == 110
+        assert profile.events_per_sec > 0
+        assert profile.top_events[0] == ("tick", 100)
+        assert ("tock", 10) in profile.top_events
+        assert "events/sec" in profile.format()
+
+    def test_profile_respects_until(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None, name="in")
+        sim.schedule(100, lambda: None, name="out")
+        profile = sim.run_profile(until=50)
+        assert profile.events_processed == 1
+        assert sim.now == 50
+
 
 class TestProcesses:
     def test_generator_process_yields_delays(self):
@@ -154,6 +260,30 @@ class TestProcesses:
 
         sim.process(proc())
         with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_crashing_process_named_in_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield 5
+            raise ValueError("boom")
+
+        sim.process(proc(), name="rx_path")
+        with pytest.raises(SimulationError, match="rx_path.*ValueError.*boom") as exc_info:
+            sim.run()
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_process_simulation_error_passes_through(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            raise SimulationError("already diagnosed")
+            yield 1
+
+        sim.process(proc(), name="p")
+        with pytest.raises(SimulationError, match="already diagnosed"):
             sim.run()
 
     def test_two_processes_interleave(self):
