@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,11 +17,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Fast parallel-path regression check: a tiny sweep through the worker
-# pool plus the kernel events/sec probe.  Fits in the tier-1 budget.
+# pool plus the kernel events/sec and ISS instructions/sec probes.
+# Fits in the tier-1 budget.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli sweep --sizes 512,1024 --rpu-set 8,16 \
 		--jobs 2 --warmup 200 --packets 500
 	PYTHONPATH=src $(PYTHON) benchmarks/kernel_probe.py
+	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
+
+# ISS backend probe on its own (interp vs closure-translated fast path)
+bench-cpu:
+	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

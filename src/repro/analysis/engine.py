@@ -50,6 +50,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """
     from .harness import _measure_latency, _measure_throughput
 
+    if spec.cpu_backend is not None:
+        # set before build: workers in a spawn pool don't inherit the
+        # parent's default, so the spec carries the backend choice
+        from ..riscv.cpu import set_default_backend
+
+        set_default_backend(spec.cpu_backend)
+
     system = spec.build_system()
     sources = spec.build_sources(system)
     key = spec.cache_key()

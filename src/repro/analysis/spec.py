@@ -36,7 +36,8 @@ from ..core.system import RosebudSystem
 
 #: Bump when the measurement semantics change incompatibly, so stale
 #: cache entries from older code never satisfy a new run.
-SPEC_VERSION = 1
+#: v2: cpu_backend field (closure-translated ISS fast path).
+SPEC_VERSION = 2
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -229,9 +230,18 @@ class ExperimentSpec:
     include_absorbed: bool = False
     setup: Optional[Callable[[RosebudSystem], None]] = None
     source_factory: Optional[Callable[[RosebudSystem, int, float], Any]] = None
+    cpu_backend: Optional[str] = None
     name: str = ""
 
     def __post_init__(self) -> None:
+        if self.cpu_backend is not None:
+            from ..riscv.cpu import BACKENDS
+
+            if self.cpu_backend not in BACKENDS:
+                raise SpecError(
+                    f"unknown cpu backend {self.cpu_backend!r}; "
+                    f"choices: {BACKENDS}"
+                )
         if self.firmware is None:
             from ..firmware import ForwarderFirmware
 
@@ -314,6 +324,7 @@ class ExperimentSpec:
             "source_factory": None
             if self.source_factory is None
             else _qualname(self.source_factory),
+            "cpu_backend": self.cpu_backend,
         }
 
     def cache_key(self) -> str:

@@ -69,6 +69,10 @@ def _lb(args: argparse.Namespace, default: Optional[str] = None) -> Optional[str
     return None if choice in (None, "none") else choice
 
 
+def _backend(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "cpu_backend", None)
+
+
 def _window(args: argparse.Namespace) -> MeasurementWindow:
     return MeasurementWindow(
         warmup_packets=args.warmup, measure_packets=args.packets
@@ -85,6 +89,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         ),
         window=_window(args),
         lb=_lb(args),
+        cpu_backend=_backend(args),
     )
     result = run_experiment(spec).throughput
     print(format_table(
@@ -111,6 +116,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
             ),
             lb=_lb(args),
             measure="latency",
+            cpu_backend=_backend(args),
         )
         summary = run_experiment(spec).latency
         rows.append([size, summary["mean"], estimated_latency_us(size)])
@@ -135,6 +141,7 @@ def cmd_firewall(args: argparse.Namespace) -> int:
         window=_window(args),
         lb=_lb(args),
         include_absorbed=True,
+        cpu_backend=_backend(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -171,6 +178,7 @@ def cmd_ids(args: argparse.Namespace) -> int:
         ),
         window=_window(args),
         lb=lb,
+        cpu_backend=_backend(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -198,6 +206,7 @@ def _sweep_spec(args: argparse.Namespace, rpus: int, size: int, gbps: float) -> 
         ),
         window=_window(args),
         lb=_lb(args, default="hash" if args.firmware == "nat" else None),
+        cpu_backend=_backend(args),
         name=f"{args.firmware} rpus={rpus} size={size} gbps={gbps:g}",
     )
 
@@ -312,6 +321,7 @@ def cmd_nat(args: argparse.Namespace) -> int:
         ),
         window=_window(args),
         lb=_lb(args, default="hash"),
+        cpu_backend=_backend(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -340,6 +350,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         ),
         window=_window(args),
         setup=functools.partial(_loopback_setup, args.rpus),
+        cpu_backend=_backend(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -348,6 +359,46 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         [[args.size, result.achieved_gbps, 100 * result.fraction_of_line,
           outcome.counters.get("loopbacked", 0)]],
         title="two-step forwarding over the loopback port",
+    ))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Time the forwarder loop on one functional RPU (ISS calibration).
+
+    Reports cycles/packet (the §6.1 firmware-loop number) and host-side
+    instructions/sec for the selected ``--cpu-backend``, so the cost of
+    a simulation campaign can be estimated before launching it.
+    """
+    import time
+
+    from .core.funcsim import FunctionalRpu
+    from .firmware import FORWARDER_ASM
+    from .riscv import get_default_backend
+
+    backend = _backend(args) or get_default_backend()
+    rpu = FunctionalRpu(FORWARDER_ASM, cpu_backend=backend)
+    payload = bytes(range(256)) * ((args.size + 255) // 256)
+    packets = max(args.packets, 10)
+
+    start_instret = rpu.cpu.instret
+    wall = 0.0
+    for i in range(packets):
+        rpu.push_packet(payload[: args.size], port=i % 2)
+        t0 = time.perf_counter()
+        rpu.run_until_sent(len(rpu.sent) + 1)
+        wall += time.perf_counter() - t0
+    instructions = rpu.cpu.instret - start_instret
+
+    deltas = FunctionalRpu(FORWARDER_ASM, cpu_backend=backend).measure_cycles_per_packet(
+        [payload[: args.size]] * 8
+    )
+    cycles_per_pkt = deltas[-1] if deltas else 0
+    ips = instructions / wall if wall > 0 else float("inf")
+    print(format_table(
+        ["backend", "packets", "cycles/pkt", "instructions", "inst/sec"],
+        [[backend, packets, cycles_per_pkt, instructions, f"{ips:,.0f}"]],
+        title="ISS calibration (forwarder firmware)",
     ))
     return 0
 
@@ -414,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warmup packets before the window")
     common.add_argument("--packets", type=int, default=3000,
                         help="packets in the measurement window")
+    common.add_argument("--cpu-backend", choices=["interp", "translated"],
+                        default=None,
+                        help="ISS execution backend (default: translated)")
 
     p = sub.add_parser("profile", parents=[common],
                        help="forwarding throughput point")
@@ -460,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="two-step loopback measurement")
     p.set_defaults(func=cmd_loopback, size=128, gbps=100.0)
 
+    p = sub.add_parser("calibrate", parents=[common],
+                       help="ISS speed/cycles-per-packet calibration")
+    p.set_defaults(func=cmd_calibrate, packets=200)
+
     p = sub.add_parser("disasm", parents=[common], help="disassemble firmware")
     p.add_argument("target", help="builtin name (forwarder/firewall/pigasus) or .rfw file")
     p.set_defaults(func=cmd_disasm)
@@ -480,6 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "cpu_backend", None)
+    if backend is not None:
+        # covers every RiscvCpu built this process; specs additionally
+        # carry the choice so spawn-pool workers follow it too
+        from .riscv import set_default_backend
+
+        set_default_backend(backend)
     return args.func(args)
 
 

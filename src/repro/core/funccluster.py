@@ -33,6 +33,7 @@ class FunctionalCluster:
         accelerator_factory: Optional[Callable[[], Accelerator]] = None,
         config: Optional[RosebudConfig] = None,
         policy: str = "round_robin",
+        cpu_backend: Optional[str] = None,
     ) -> None:
         if policy not in ("round_robin", "hash"):
             raise ValueError(f"unknown policy {policy!r}")
@@ -41,7 +42,12 @@ class FunctionalCluster:
         self.rpus: List[FunctionalRpu] = []
         for index in range(n_rpus):
             accel = accelerator_factory() if accelerator_factory else None
-            rpu = FunctionalRpu(firmware_asm, accelerator=accel, config=self.config)
+            rpu = FunctionalRpu(
+                firmware_asm,
+                accelerator=accel,
+                config=self.config,
+                cpu_backend=cpu_backend,
+            )
             rpu.cpu.hartid = index
             self.rpus.append(rpu)
         self.slots = SlotTable(n_rpus, self.config.slots_per_rpu)

@@ -61,6 +61,7 @@ class FunctionalRpu:
         firmware_asm: str,
         accelerator: Optional[Accelerator] = None,
         config: Optional[RosebudConfig] = None,
+        cpu_backend: Optional[str] = None,
     ) -> None:
         self.config = config or RosebudConfig()
         self.bus = MemoryBus()
@@ -85,7 +86,7 @@ class FunctionalRpu:
 
             self.bus.add_mmio(IO_EXT_BASE, 0x1000, read, dma_aware_write, "accel")
 
-        self.cpu = RiscvCpu(self.bus, reset_pc=IMEM_BASE)
+        self.cpu = RiscvCpu(self.bus, reset_pc=IMEM_BASE, backend=cpu_backend)
         self.program = self.load_firmware(firmware_asm)
 
         self._rx: Deque[Tuple[int, int, int, int]] = deque()  # tag, len, port, addr

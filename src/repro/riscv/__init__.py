@@ -2,7 +2,14 @@
 
 from .assembler import Assembler, AssemblerError, Program, assemble
 from .bus import BusError, MemoryBus, MmioRegion, RamRegion
-from .cpu import CycleModel, CpuHalted, RiscvCpu
+from .cpu import (
+    BACKENDS,
+    CycleModel,
+    CpuHalted,
+    RiscvCpu,
+    get_default_backend,
+    set_default_backend,
+)
 from .isa import ABI_NAMES, DecodeError, Instruction, decode, parse_register, sign_extend
 
 __all__ = [
@@ -14,9 +21,12 @@ __all__ = [
     "MemoryBus",
     "MmioRegion",
     "RamRegion",
+    "BACKENDS",
     "CycleModel",
     "CpuHalted",
     "RiscvCpu",
+    "get_default_backend",
+    "set_default_backend",
     "ABI_NAMES",
     "DecodeError",
     "Instruction",

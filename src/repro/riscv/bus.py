@@ -26,19 +26,37 @@ class _Region:
     def contains(self, addr: int) -> bool:
         return self.base <= addr < self.base + self.size
 
+    def read_u32(self, addr: int) -> int:
+        return self.read(addr, 4)  # type: ignore[attr-defined]
+
 
 class RamRegion(_Region):
-    """A byte-addressable RAM block (little-endian)."""
+    """A byte-addressable RAM block (little-endian).
+
+    ``write_hook`` (if set) observes every mutation — ``write`` and
+    ``load_bytes`` — with the absolute address and length *after* the
+    bytes land.  The CPU uses it to keep decoded/translated instruction
+    caches coherent with stores into instruction memory.
+    """
 
     def __init__(self, base: int, size: int, name: str = "ram") -> None:
         super().__init__(base, size, name)
         self.data = bytearray(size)
+        self.write_hook: Optional[Callable[[int, int], None]] = None
 
     def read(self, addr: int, nbytes: int) -> int:
         off = addr - self.base
         if off + nbytes > self.size:
             raise BusError(f"read past end of {self.name} at {addr:#x}")
         return int.from_bytes(self.data[off : off + nbytes], "little")
+
+    def read_u32(self, addr: int) -> int:
+        """Word read without the generic slicing path (hot for fetch)."""
+        off = addr - self.base
+        if off + 4 > self.size:
+            raise BusError(f"read past end of {self.name} at {addr:#x}")
+        d = self.data
+        return d[off] | (d[off + 1] << 8) | (d[off + 2] << 16) | (d[off + 3] << 24)
 
     def write(self, addr: int, value: int, nbytes: int) -> None:
         off = addr - self.base
@@ -47,11 +65,32 @@ class RamRegion(_Region):
         self.data[off : off + nbytes] = (value & ((1 << (nbytes * 8)) - 1)).to_bytes(
             nbytes, "little"
         )
+        if self.write_hook is not None:
+            self.write_hook(addr, nbytes)
+
+    # offset-based twins with the MMIO handler signature, so translated
+    # load/store inline caches can bind the innermost callable uniformly
+    # for RAM and MMIO regions (one call frame either way)
+    def _read(self, off: int, nbytes: int) -> int:
+        if off + nbytes > self.size:
+            raise BusError(f"read past end of {self.name} at {off + self.base:#x}")
+        return int.from_bytes(self.data[off : off + nbytes], "little")
+
+    def _write(self, off: int, value: int, nbytes: int) -> None:
+        if off + nbytes > self.size:
+            raise BusError(f"write past end of {self.name} at {off + self.base:#x}")
+        self.data[off : off + nbytes] = (value & ((1 << (nbytes * 8)) - 1)).to_bytes(
+            nbytes, "little"
+        )
+        if self.write_hook is not None:
+            self.write_hook(self.base + off, nbytes)
 
     def load_bytes(self, offset: int, blob: bytes) -> None:
         if offset + len(blob) > self.size:
             raise BusError(f"blob does not fit in {self.name}")
         self.data[offset : offset + len(blob)] = blob
+        if self.write_hook is not None:
+            self.write_hook(self.base + offset, len(blob))
 
     def dump_bytes(self, offset: int = 0, length: Optional[int] = None) -> bytes:
         if length is None:
@@ -81,6 +120,9 @@ class MmioRegion(_Region):
     def read(self, addr: int, nbytes: int) -> int:
         return self._read(addr - self.base, nbytes) & ((1 << (nbytes * 8)) - 1)
 
+    def read_u32(self, addr: int) -> int:
+        return self._read(addr - self.base, 4) & 0xFFFFFFFF
+
     def write(self, addr: int, value: int, nbytes: int) -> None:
         self._write(addr - self.base, value, nbytes)
 
@@ -94,11 +136,32 @@ class MemoryBus:
 
     def __init__(self) -> None:
         self._regions: List[_Region] = []
+        self._last: Optional[_Region] = None
+        self._store_watch: Optional[Callable[[int, int], None]] = None
 
     def add_ram(self, base: int, size: int, name: str = "ram") -> RamRegion:
         region = RamRegion(base, size, name)
         self._add(region)
+        if self._store_watch is not None:
+            self._hook_region(region, self._store_watch)
         return region
+
+    def watch_stores(self, callback: Callable[[int, int], None]) -> None:
+        """Observe every RAM mutation (current and future regions) with
+        ``callback(addr, nbytes)``.  Chains with any previous watcher."""
+        previous = self._store_watch
+        if previous is not None:
+            def callback(addr: int, nbytes: int, _prev=previous, _new=callback) -> None:
+                _prev(addr, nbytes)
+                _new(addr, nbytes)
+        self._store_watch = callback
+        for region in self._regions:
+            if isinstance(region, RamRegion):
+                self._hook_region(region, callback)
+
+    @staticmethod
+    def _hook_region(region: RamRegion, callback: Callable[[int, int], None]) -> None:
+        region.write_hook = callback
 
     def add_mmio(
         self,
@@ -124,8 +187,14 @@ class MemoryBus:
         self._regions.append(region)
 
     def _find(self, addr: int) -> _Region:
+        # most accesses stream into the region hit last time (imem for
+        # fetch, pmem for payload walks), so try it before scanning
+        region = self._last
+        if region is not None and region.contains(addr):
+            return region
         for region in self._regions:
             if region.contains(addr):
+                self._last = region
                 return region
         raise BusError(f"bus access to unmapped address {addr:#010x}")
 
@@ -143,7 +212,7 @@ class MemoryBus:
         return self.read(addr, 2)
 
     def read_u32(self, addr: int) -> int:
-        return self.read(addr, 4)
+        return self._find(addr).read_u32(addr)
 
     def write_u8(self, addr: int, value: int) -> None:
         self.write(addr, value, 1)

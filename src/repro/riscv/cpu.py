@@ -19,9 +19,39 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .bus import BusError, MemoryBus
-from .isa import DecodeError, Instruction, decode
+from .isa import (
+    CC_BRANCH,
+    CC_CSR,
+    CC_DIV,
+    CC_JUMP,
+    CC_LOAD,
+    CC_MUL,
+    N_COST_CLASSES,
+    DecodeError,
+    Instruction,
+    decode,
+)
 
 MASK32 = 0xFFFFFFFF
+
+#: Execution backends: the reference interpreter and the
+#: closure-translation fast path (see :mod:`repro.riscv.translate`).
+BACKENDS = ("interp", "translated")
+
+_DEFAULT_BACKEND = "translated"
+
+
+def set_default_backend(name: str) -> None:
+    """Select the backend new :class:`RiscvCpu` instances use when the
+    constructor is not told otherwise (the ``--cpu-backend`` CLI knob)."""
+    global _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(f"unknown cpu backend {name!r}; choices: {BACKENDS}")
+    _DEFAULT_BACKEND = name
+
+
+def get_default_backend() -> str:
+    return _DEFAULT_BACKEND
 
 # CSR addresses (subset)
 CSR_MSTATUS = 0x300
@@ -80,21 +110,29 @@ class CycleModel:
             csr_extra=2,
         )
 
+    def cost_table(self) -> tuple:
+        """Per-cost-class cycle costs, indexed by ``Instruction.cost_class``.
+
+        Branches carry their *not-taken* cost here; the taken cost is
+        :attr:`branch_taken_cost`.  Both backends resolve costs through
+        this table so the mnemonic string scan stays off the retire path.
+        """
+        table = [self.base] * N_COST_CLASSES
+        table[CC_JUMP] = self.base + self.jump_penalty
+        table[CC_LOAD] = self.base + self.load_extra
+        table[CC_MUL] = self.base + self.mul_extra
+        table[CC_DIV] = self.base + self.div_extra
+        table[CC_CSR] = self.base + self.csr_extra
+        return tuple(table)
+
+    @property
+    def branch_taken_cost(self) -> int:
+        return self.base + self.branch_taken_penalty
+
     def cost(self, inst: Instruction, taken: bool) -> int:
-        m = inst.mnemonic
-        if m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-            return self.base + (self.branch_taken_penalty if taken else 0)
-        if m in ("jal", "jalr", "mret"):
-            return self.base + self.jump_penalty
-        if m in ("lb", "lh", "lw", "lbu", "lhu"):
-            return self.base + self.load_extra
-        if m in ("mul", "mulh", "mulhsu", "mulhu"):
-            return self.base + self.mul_extra
-        if m in ("div", "divu", "rem", "remu"):
-            return self.base + self.div_extra
-        if m.startswith("csr"):
-            return self.base + self.csr_extra
-        return self.base
+        if inst.cost_class == CC_BRANCH:
+            return self.branch_taken_cost if taken else self.base
+        return self.cost_table()[inst.cost_class]
 
 
 class CpuHalted(Exception):
@@ -115,6 +153,7 @@ class RiscvCpu:
         reset_pc: int = 0,
         hartid: int = 0,
         cycle_model: Optional[CycleModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.bus = bus
         self.regs: List[int] = [0] * 32
@@ -125,6 +164,7 @@ class RiscvCpu:
         self.halted = False
         self.waiting_for_interrupt = False
         self.hartid = hartid
+        self._engine = None
         self.cycle_model = cycle_model or CycleModel()
         self.csrs: Dict[int, int] = {
             CSR_MSTATUS: 0,
@@ -140,6 +180,41 @@ class RiscvCpu:
         #: optional hook invoked on ecall: hook(cpu) -> None
         self.ecall_handler: Optional[Callable[["RiscvCpu"], None]] = None
 
+        # store-aware instruction-cache coherence: the bus reports every
+        # RAM mutation; words we have decoded/translated are invalidated
+        # (fixes self-modifying code executing stale instructions)
+        self._code_words: set = set()
+        self._code_lo = 1 << 62
+        self._code_hi = -1
+        self._break_block = False
+        bus.watch_stores(self._store_watch)
+
+        backend = backend or _DEFAULT_BACKEND
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown cpu backend {backend!r}; choices: {BACKENDS}"
+            )
+        self.backend = backend
+        if backend == "translated":
+            from .translate import TranslatedEngine
+
+            self._engine = TranslatedEngine(self)
+
+    # -- cycle model (swappable; costs are baked into caches) ----------------
+
+    @property
+    def cycle_model(self) -> CycleModel:
+        return self._cycle_model
+
+    @cycle_model.setter
+    def cycle_model(self, model: CycleModel) -> None:
+        self._cycle_model = model
+        self._cost_table = model.cost_table()
+        self._branch_taken_cost = model.branch_taken_cost
+        if self._engine is not None:
+            # translated closures embed their cycle costs
+            self._engine.flush()
+
     # -- register access ----------------------------------------------------
 
     def read_reg(self, idx: int) -> int:
@@ -152,7 +227,8 @@ class RiscvCpu:
     # -- reset / interrupt lines ---------------------------------------------
 
     def reset(self) -> None:
-        self.regs = [0] * 32
+        # in place: translated closures capture the list itself
+        self.regs[:] = [0] * 32
         self.pc = self.reset_pc
         self.cycles = 0
         self.instret = 0
@@ -160,7 +236,8 @@ class RiscvCpu:
         self.waiting_for_interrupt = False
         for csr in (CSR_MSTATUS, CSR_MIE, CSR_MEPC, CSR_MCAUSE, CSR_MIP):
             self.csrs[csr] = 0
-        self._decode_cache.clear()
+        self.invalidate_icache()
+        self._break_block = False
 
     def raise_interrupt(self, line: int) -> None:
         """Assert platform interrupt ``line`` (0 = timer, >=1 external)."""
@@ -169,6 +246,9 @@ class RiscvCpu:
         else:
             self.csrs[CSR_MIP] |= 1 << (IRQ_EXTERNAL_BASE + line - 1)
         self.waiting_for_interrupt = False
+        # force the translated backend back to its block-entry interrupt
+        # check so latency stays at instruction granularity
+        self._break_block = True
 
     def clear_interrupt(self, line: int) -> None:
         if line == 0:
@@ -209,14 +289,52 @@ class RiscvCpu:
             word = self.bus.read_u32(addr)
             inst = decode(word)
             self._decode_cache[addr] = inst
+            self._note_code_word(addr)
         return inst
 
     def invalidate_icache(self) -> None:
-        """Drop the decode cache after firmware is (re)loaded."""
+        """Drop all decoded/translated instructions (full flush)."""
         self._decode_cache.clear()
+        self._code_words.clear()
+        self._code_lo = 1 << 62
+        self._code_hi = -1
+        if self._engine is not None:
+            self._engine.flush()
+
+    # -- store-aware coherence ------------------------------------------------
+
+    def _note_code_word(self, addr: int) -> None:
+        word = addr & ~0x3
+        self._code_words.add(word)
+        if word < self._code_lo:
+            self._code_lo = word
+        if word > self._code_hi:
+            self._code_hi = word
+
+    def _store_watch(self, addr: int, nbytes: int) -> None:
+        # fast reject: almost every store lands outside the code range
+        # (dmem/pmem), and host blob loads stream kilobytes at a time
+        if addr > self._code_hi or addr + nbytes <= self._code_lo:
+            return
+        first = addr & ~0x3
+        last = (addr + nbytes - 1) & ~0x3
+        for word in range(first, last + 4, 4):
+            if word in self._code_words:
+                self._invalidate_word(word)
+
+    def _invalidate_word(self, word: int) -> None:
+        self._code_words.discard(word)
+        self._decode_cache.pop(word, None)
+        if self._engine is not None:
+            self._engine.invalidate_word(word)
+        # if we are mid-superblock, stop fusing at the next boundary
+        self._break_block = True
 
     def step(self) -> int:
         """Execute one instruction; returns the cycles it consumed."""
+        if self._engine is not None:
+            return self._engine.step()
+
         if self.halted:
             raise CpuHalted("core is halted")
 
@@ -241,8 +359,13 @@ class RiscvCpu:
     ) -> int:
         """Run until halt, ``until(cpu)`` is true, or the instruction cap.
 
-        Returns instructions executed.
+        Returns instructions executed.  With the translated backend,
+        ``until`` is evaluated at superblock boundaries rather than
+        before every instruction (see docs/ARCHITECTURE.md).
         """
+        if self._engine is not None:
+            return self._engine.run(max_instructions, until)
+
         executed = 0
         while executed < max_instructions and not self.halted:
             if until is not None and until(self):
@@ -379,7 +502,10 @@ class RiscvCpu:
         else:  # pragma: no cover - decode() guarantees coverage
             raise DecodeError(f"unimplemented mnemonic {m}")
 
-        self.cycles += self.cycle_model.cost(inst, taken)
+        if taken:
+            self.cycles += self._branch_taken_cost
+        else:
+            self.cycles += self._cost_table[inst.cost_class]
         self.pc = next_pc
 
     def _execute_csr(self, inst: Instruction) -> None:

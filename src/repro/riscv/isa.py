@@ -21,9 +21,39 @@ def sign_extend(value: int, bits: int) -> int:
     return (value & (mask - 1)) - (value & mask)
 
 
+# Cycle-cost classes, assigned at decode time so the retire path never
+# has to compare mnemonic strings (the CycleModel keeps a small table
+# indexed by these).
+CC_SIMPLE = 0
+CC_BRANCH = 1
+CC_JUMP = 2
+CC_LOAD = 3
+CC_MUL = 4
+CC_DIV = 5
+CC_CSR = 6
+N_COST_CLASSES = 7
+
+_COST_CLASS = {
+    "beq": CC_BRANCH, "bne": CC_BRANCH, "blt": CC_BRANCH,
+    "bge": CC_BRANCH, "bltu": CC_BRANCH, "bgeu": CC_BRANCH,
+    "jal": CC_JUMP, "jalr": CC_JUMP, "mret": CC_JUMP,
+    "lb": CC_LOAD, "lh": CC_LOAD, "lw": CC_LOAD,
+    "lbu": CC_LOAD, "lhu": CC_LOAD,
+    "mul": CC_MUL, "mulh": CC_MUL, "mulhsu": CC_MUL, "mulhu": CC_MUL,
+    "div": CC_DIV, "divu": CC_DIV, "rem": CC_DIV, "remu": CC_DIV,
+    "csrrw": CC_CSR, "csrrs": CC_CSR, "csrrc": CC_CSR,
+    "csrrwi": CC_CSR, "csrrsi": CC_CSR, "csrrci": CC_CSR,
+}
+
+
 @dataclass(frozen=True)
 class Instruction:
-    """A decoded instruction: mnemonic + register/immediate fields."""
+    """A decoded instruction: mnemonic + register/immediate fields.
+
+    ``cost_class`` is derived from the mnemonic on construction; the
+    cycle models index their cost tables with it instead of scanning
+    mnemonic strings on every retire.
+    """
 
     mnemonic: str
     rd: int = 0
@@ -32,6 +62,12 @@ class Instruction:
     imm: int = 0
     csr: int = 0
     raw: int = 0
+    cost_class: int = CC_SIMPLE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cost_class", _COST_CLASS.get(self.mnemonic, CC_SIMPLE)
+        )
 
     def __str__(self) -> str:
         return f"{self.mnemonic} rd=x{self.rd} rs1=x{self.rs1} rs2=x{self.rs2} imm={self.imm}"

@@ -1,0 +1,717 @@
+"""Closure-translation fast path for the RV32IM ISS.
+
+Instead of re-dispatching on mnemonic strings every step, each
+instruction word is compiled *once* into a zero-argument Python closure
+with its register indices, immediates, sign-extension, and precomputed
+cycle cost bound in.  Straight-line runs of closures are fused into
+**superblocks** keyed by entry pc that execute with a single Python call
+per instruction and one interrupt check per block entry.
+
+Parity rules (the differential tests in ``tests/test_riscv_backends.py``
+enforce these against the interpreter):
+
+* A closure performs its architectural effect first, then adds its
+  cycle cost and bumps ``instret``, and returns the next pc — the same
+  order as ``RiscvCpu._execute``, so ``csrr mcycle`` and MMIO cycle
+  reads observe identical values.
+* While a closure runs, ``cpu.pc`` holds that instruction's address
+  (the executor assigns the return value *between* closures), so bus
+  faults and ecall handlers see the same pc as the interpreter.
+* Every instruction that can change interrupt enablement or redirect
+  control (branches, jal/jalr, mret, ecall, ebreak, wfi, csr*)
+  terminates its block, and ``RiscvCpu.raise_interrupt`` sets
+  ``_break_block``, so interrupts are taken at exactly the same
+  instruction boundaries as the interpreter.
+* Stores that hit a translated word invalidate it (and every block
+  spanning it) via ``RiscvCpu._store_watch`` and abort the current
+  block, so self-modifying code never executes stale closures.
+
+Hot-path tricks, in decreasing order of impact: per-site inline caches
+for load/store regions (bound method + bounds, like a JIT's monomorphic
+IC), factory-specialized closures for the common ALU/branch forms (no
+generic-lambda frame), signed compares via the XOR-``0x80000000`` bias,
+and a rare-exception protocol (:class:`_BlockAbort`) instead of a
+per-instruction flag check for mid-block invalidation/interrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .bus import BusError
+from .isa import CC_BRANCH, DecodeError, decode
+from .cpu import (
+    CSR_MEPC,
+    CSR_MIE,
+    CSR_MIP,
+    CSR_MSTATUS,
+    MASK32,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    CpuHalted,
+    _div,
+    _rem,
+    _signed,
+)
+
+#: Longest straight-line run fused into one superblock.
+MAX_BLOCK = 64
+
+#: XOR bias that maps two's-complement order onto unsigned order, so
+#: signed compares need no sign conversion calls.
+_BIAS = 0x80000000
+
+_OpFn = Callable[[], int]
+
+
+class _BlockAbort(Exception):
+    """Internal: a load/store tripped ``_break_block`` (interrupt raised
+    by an MMIO handler, or a store patched translated code).  Raised
+    *after* the instruction fully retires, with ``cpu.pc`` already
+    advanced, so architectural state matches the interpreter exactly;
+    the executor catches it and re-enters through the block-entry
+    checks.  Only loads and stores can trip the flag (MMIO handlers run
+    inside them), so no other closure pays for the check."""
+
+
+# -- specialized closure factories -------------------------------------------
+#
+# Each factory binds one decoded instruction's operands and returns the
+# closure that executes it.  The common ALU and branch forms get their
+# own factory so the hot path has no operator-lambda indirection; the
+# long tail (M extension, shifts-by-register, ...) goes through the
+# generic tables below.
+
+def _f_addi(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = (regs[rs1] + imm) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_andi(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = regs[rs1] & imm & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_ori(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = (regs[rs1] | imm) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_xori(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = (regs[rs1] ^ imm) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_slti(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    biased = (imm & MASK32) ^ _BIAS
+    def fn():
+        regs[rd] = 1 if (regs[rs1] ^ _BIAS) < biased else 0
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_sltiu(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    uimm = imm & MASK32
+    def fn():
+        regs[rd] = 1 if regs[rs1] < uimm else 0
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_slli(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    sh = imm & 0x1F
+    def fn():
+        regs[rd] = (regs[rs1] << sh) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_srli(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    sh = imm & 0x1F
+    def fn():
+        regs[rd] = regs[rs1] >> sh
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_srai(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    sh = imm & 0x1F
+    def fn():
+        regs[rd] = (_signed(regs[rs1]) >> sh) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_add(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = (regs[rs1] + regs[rs2]) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_sub(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = (regs[rs1] - regs[rs2]) & MASK32
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_and(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = regs[rs1] & regs[rs2]
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_or(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = regs[rs1] | regs[rs2]
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_xor(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = regs[rs1] ^ regs[rs2]
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_slt(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = 1 if (regs[rs1] ^ _BIAS) < (regs[rs2] ^ _BIAS) else 0
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _f_sltu(cpu, regs, rd, rs1, rs2, imm, cost, next_pc):
+    def fn():
+        regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+        cpu.cycles += cost
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+_INLINE_OPS = {
+    "addi": _f_addi, "andi": _f_andi, "ori": _f_ori, "xori": _f_xori,
+    "slti": _f_slti, "sltiu": _f_sltiu,
+    "slli": _f_slli, "srli": _f_srli, "srai": _f_srai,
+    "add": _f_add, "sub": _f_sub, "and": _f_and, "or": _f_or,
+    "xor": _f_xor, "slt": _f_slt, "sltu": _f_sltu,
+}
+
+
+def _b_beq(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if regs[rs1] == regs[rs2]:
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _b_bne(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if regs[rs1] != regs[rs2]:
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _b_blt(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if (regs[rs1] ^ _BIAS) < (regs[rs2] ^ _BIAS):
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _b_bge(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if (regs[rs1] ^ _BIAS) >= (regs[rs2] ^ _BIAS):
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _b_bltu(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if regs[rs1] < regs[rs2]:
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+def _b_bgeu(cpu, regs, rs1, rs2, target, next_pc, ct, cnt):
+    def fn():
+        if regs[rs1] >= regs[rs2]:
+            cpu.cycles += ct
+            cpu.instret += 1
+            return target
+        cpu.cycles += cnt
+        cpu.instret += 1
+        return next_pc
+    return fn
+
+
+_BRANCH_OPS = {
+    "beq": _b_beq, "bne": _b_bne, "blt": _b_blt,
+    "bge": _b_bge, "bltu": _b_bltu, "bgeu": _b_bgeu,
+}
+
+# generic long tail: value computations as (a, b) lambdas; one extra
+# frame per execution, acceptable for the M extension and friends
+_ALU_RR_TAIL: Dict[str, Callable[[int, int], int]] = {
+    "sll": lambda a, b: (a << (b & 0x1F)) & MASK32,
+    "srl": lambda a, b: a >> (b & 0x1F),
+    "sra": lambda a, b: (_signed(a) >> (b & 0x1F)) & MASK32,
+    "mul": lambda a, b: (a * b) & MASK32,
+    "mulh": lambda a, b: ((_signed(a) * _signed(b)) >> 32) & MASK32,
+    "mulhsu": lambda a, b: ((_signed(a) * b) >> 32) & MASK32,
+    "mulhu": lambda a, b: ((a * b) >> 32) & MASK32,
+    "div": lambda a, b: _div(_signed(a), _signed(b)),
+    "divu": lambda a, b: MASK32 if b == 0 else a // b,
+    "rem": lambda a, b: _rem(_signed(a), _signed(b)),
+    "remu": lambda a, b: a if b == 0 else a % b,
+}
+
+#: rd==0 forms of these are architectural no-ops (pure computations)
+_PURE_RD_OPS = (
+    set(_INLINE_OPS) | set(_ALU_RR_TAIL) | {"lui", "auipc"}
+)
+
+_LOAD_BYTES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+_STORE_BYTES = {"sb": 1, "sh": 2, "sw": 4}
+
+
+def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
+    """Compile ``inst`` at ``pc`` into ``(closure, is_block_terminal)``."""
+    m = inst.mnemonic
+    rd = inst.rd
+    rs1 = inst.rs1
+    rs2 = inst.rs2
+    imm = inst.imm
+    cost = cpu._cost_table[inst.cost_class]
+    next_pc = (pc + 4) & MASK32
+    # reset() clears the register file in place, so the list identity is
+    # stable for the cpu's lifetime and closures can bind it directly
+    regs = cpu.regs
+
+    if rd == 0 and m in _PURE_RD_OPS:
+        def fn() -> int:  # writes x0: architectural no-op beyond its cost
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+        return fn, False
+
+    factory = _INLINE_OPS.get(m)
+    if factory is not None:
+        return factory(cpu, regs, rd, rs1, rs2, imm, cost, next_pc), False
+
+    branch = _BRANCH_OPS.get(m)
+    if branch is not None:
+        target = (pc + imm) & MASK32
+        return (
+            branch(
+                cpu, regs, rs1, rs2, target, next_pc,
+                cpu._branch_taken_cost, cpu._cost_table[CC_BRANCH],
+            ),
+            True,
+        )
+
+    if m in _ALU_RR_TAIL:
+        op = _ALU_RR_TAIL[m]
+
+        def fn() -> int:
+            regs[rd] = op(regs[rs1], regs[rs2])
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, False
+
+    if m == "lw":
+        find = cpu.bus._find
+        # inline cache: a given load site almost always hits the same
+        # region, so remember [base, limit, innermost reader] and skip
+        # the bus scan plus all dispatch frames on the hit path.  The
+        # cached callable is the offset-based ``_read`` — the raw MMIO
+        # handler itself, or RamRegion's offset twin — so RAM and MMIO
+        # cost one call frame alike; the result is masked here because
+        # raw handlers are allowed to return unmasked values.
+        cache = [1, 0, None]
+
+        def fn() -> int:
+            addr = (regs[rs1] + imm) & MASK32
+            if not cache[0] <= addr < cache[1]:
+                region = find(addr)
+                cache[0] = region.base
+                cache[1] = region.base + region.size
+                cache[2] = region._read
+            value = cache[2](addr - cache[0], 4) & MASK32
+            if rd:
+                regs[rd] = value
+            cpu.cycles += cost
+            cpu.instret += 1
+            if cpu._break_block:
+                cpu.pc = next_pc
+                raise _BlockAbort
+            return next_pc
+
+        return fn, False
+
+    if m in _LOAD_BYTES:
+        find = cpu.bus._find
+        nbytes = _LOAD_BYTES[m]
+        signed_load = m in ("lb", "lh")
+        sign_bit = 1 << (nbytes * 8 - 1)
+        low_mask = sign_bit - 1
+        full_mask = (1 << (nbytes * 8)) - 1
+        cache = [1, 0, None]
+
+        def fn() -> int:
+            addr = (regs[rs1] + imm) & MASK32
+            if not cache[0] <= addr < cache[1]:
+                region = find(addr)
+                cache[0] = region.base
+                cache[1] = region.base + region.size
+                cache[2] = region._read
+            value = cache[2](addr - cache[0], nbytes)
+            if signed_load:
+                value = ((value & low_mask) - (value & sign_bit)) & MASK32
+            else:
+                value &= full_mask
+            if rd:
+                regs[rd] = value
+            cpu.cycles += cost
+            cpu.instret += 1
+            if cpu._break_block:
+                cpu.pc = next_pc
+                raise _BlockAbort
+            return next_pc
+
+        return fn, False
+
+    if m in _STORE_BYTES:
+        find = cpu.bus._find
+        nbytes = _STORE_BYTES[m]
+        cache = [1, 0, None]
+
+        def fn() -> int:
+            addr = (regs[rs1] + imm) & MASK32
+            if not cache[0] <= addr < cache[1]:
+                region = find(addr)
+                cache[0] = region.base
+                cache[1] = region.base + region.size
+                cache[2] = region._write
+            cache[2](addr - cache[0], regs[rs2], nbytes)
+            cpu.cycles += cost
+            cpu.instret += 1
+            if cpu._break_block:
+                cpu.pc = next_pc
+                raise _BlockAbort
+            return next_pc
+
+        return fn, False
+
+    if m == "lui":
+        value = imm & MASK32
+
+        def fn() -> int:
+            regs[rd] = value
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, False
+
+    if m == "auipc":
+        value = (pc + imm) & MASK32
+
+        def fn() -> int:
+            regs[rd] = value
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, False
+
+    if m == "jal":
+        target = (pc + imm) & MASK32
+
+        def fn() -> int:
+            if rd:
+                regs[rd] = next_pc
+            cpu.cycles += cost
+            cpu.instret += 1
+            return target
+
+        return fn, True
+
+    if m == "jalr":
+        def fn() -> int:
+            target = (regs[rs1] + imm) & 0xFFFFFFFE
+            if rd:
+                regs[rd] = next_pc
+            cpu.cycles += cost
+            cpu.instret += 1
+            return target
+
+        return fn, True
+
+    if m == "fence":
+        def fn() -> int:
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, False
+
+    if m == "ecall":
+        def fn() -> int:
+            handler = cpu.ecall_handler
+            if handler is not None:
+                handler(cpu)
+            else:
+                cpu.halted = True
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, True
+
+    if m == "ebreak":
+        def fn() -> int:
+            cpu.halted = True
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, True
+
+    if m == "wfi":
+        def fn() -> int:
+            cpu.waiting_for_interrupt = True
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, True
+
+    if m == "mret":
+        def fn() -> int:
+            csrs = cpu.csrs
+            status = csrs[CSR_MSTATUS]
+            if status & MSTATUS_MPIE:
+                status |= MSTATUS_MIE
+            else:
+                status &= ~MSTATUS_MIE
+            status |= MSTATUS_MPIE
+            csrs[CSR_MSTATUS] = status
+            cpu.cycles += cost
+            cpu.instret += 1
+            return csrs[CSR_MEPC]
+
+        return fn, True
+
+    if m.startswith("csr"):
+        # csr* can flip mstatus.MIE / mie, so blocks end here and the
+        # run loop re-checks pending interrupts — same boundary as the
+        # interpreter's per-step check
+        def fn() -> int:
+            cpu._execute_csr(inst)
+            cpu.cycles += cost
+            cpu.instret += 1
+            return next_pc
+
+        return fn, True
+
+    raise DecodeError(f"unimplemented mnemonic {m}")  # pragma: no cover
+
+
+class TranslatedEngine:
+    """Owns the per-word closure cache and the superblock cache."""
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        #: word addr -> (closure, terminal)
+        self.ops: Dict[int, Tuple[_OpFn, bool]] = {}
+        #: entry pc -> fused closure list
+        self.blocks: Dict[int, List[_OpFn]] = {}
+        #: word addr -> entry pcs of blocks spanning it
+        self.block_index: Dict[int, Set[int]] = {}
+
+    # -- cache maintenance ---------------------------------------------------
+
+    def flush(self) -> None:
+        self.ops.clear()
+        self.blocks.clear()
+        self.block_index.clear()
+
+    def invalidate_word(self, word: int) -> None:
+        self.ops.pop(word, None)
+        for entry in self.block_index.pop(word, ()):
+            self.blocks.pop(entry, None)
+
+    # -- translation ---------------------------------------------------------
+
+    def _compile_at(self, pc: int) -> Tuple[_OpFn, bool]:
+        cpu = self.cpu
+        try:
+            inst = decode(cpu.bus.read_u32(pc))
+        except (BusError, DecodeError) as exc:
+            err = exc
+
+            def fn() -> int:  # fault lazily, exactly when executed
+                raise err
+
+            return fn, True
+        return _compile(cpu, inst, pc)
+
+    def _translate_op(self, pc: int) -> Tuple[_OpFn, bool]:
+        entry = self.ops.get(pc)
+        if entry is None:
+            entry = self._compile_at(pc)
+            self.ops[pc] = entry
+            self.cpu._note_code_word(pc)
+        return entry
+
+    def translate_block(self, entry_pc: int) -> List[_OpFn]:
+        block_index = self.block_index
+        ops_list: List[_OpFn] = []
+        pc = entry_pc
+        for _ in range(MAX_BLOCK):
+            fn, terminal = self._translate_op(pc)
+            ops_list.append(fn)
+            block_index.setdefault(pc, set()).add(entry_pc)
+            if terminal:
+                break
+            pc = (pc + 4) & MASK32
+        self.blocks[entry_pc] = ops_list
+        return ops_list
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> int:
+        """Execute exactly one instruction (interpreter-step parity)."""
+        cpu = self.cpu
+        if cpu.halted:
+            raise CpuHalted("core is halted")
+
+        cause = cpu._pending_interrupt()
+        if cause is not None:
+            cpu._take_interrupt(cause)
+
+        if cpu.waiting_for_interrupt:
+            cpu.cycles += 1
+            return 1
+
+        fn, _terminal = self._translate_op(cpu.pc)
+        start_cycles = cpu.cycles
+        try:
+            cpu.pc = fn()
+        except _BlockAbort:
+            pass  # closure retired fully and set pc itself
+        return cpu.cycles - start_cycles
+
+    def run(
+        self,
+        max_instructions: int = 1_000_000,
+        until: Optional[Callable[[object], bool]] = None,
+    ) -> int:
+        cpu = self.cpu
+        blocks = self.blocks
+        csrs = cpu.csrs
+        executed = 0
+        while executed < max_instructions and not cpu.halted:
+            if until is not None and until(cpu):
+                break
+
+            # inlined _pending_interrupt fast reject (hot: once per block)
+            if csrs[CSR_MSTATUS] & MSTATUS_MIE and csrs[CSR_MIP] & csrs[CSR_MIE]:
+                cause = cpu._pending_interrupt()
+                if cause is not None:
+                    cpu._take_interrupt(cause)
+            if cpu.waiting_for_interrupt:
+                cpu.cycles += 1
+                executed += 1
+                continue
+
+            pc = cpu.pc
+            try:
+                ops_list = blocks[pc]
+            except KeyError:
+                ops_list = self.translate_block(pc)
+            remaining = max_instructions - executed
+            if len(ops_list) > remaining:
+                ops_list = ops_list[:remaining]
+
+            cpu._break_block = False
+            before = cpu.instret
+            try:
+                for fn in ops_list:
+                    cpu.pc = fn()
+            except _BlockAbort:
+                # interrupt raised or code word patched mid-block;
+                # re-enter through the checks above
+                pass
+            executed += cpu.instret - before
+        return executed
