@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu ci lint examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,13 +17,29 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Fast parallel-path regression check: a tiny sweep through the worker
-# pool plus the kernel events/sec and ISS instructions/sec probes.
-# Fits in the tier-1 budget.
+# pool, the kernel events/sec and ISS instructions/sec probes, and the
+# deterministic resilience-shape benchmarks.  Fits in the tier-1
+# budget.  Set REPRO_CI=1 to relax the perf floors for shared runners.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli sweep --sizes 512,1024 --rpu-set 8,16 \
 		--jobs 2 --warmup 200 --packets 500
 	PYTHONPATH=src $(PYTHON) benchmarks/kernel_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -q
+
+# Lint + bytecode-compile; ruff is optional locally (CI always has it).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+	$(PYTHON) -m compileall -q src
+
+# Everything the GitHub workflow runs, in one local command.
+ci: lint
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	REPRO_CI=1 $(MAKE) bench-smoke
 
 # ISS backend probe on its own (interp vs closure-translated fast path)
 bench-cpu:

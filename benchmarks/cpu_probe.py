@@ -15,21 +15,25 @@ interleaved and the best rep is scored — the standard min-time
 benchmarking discipline.
 
 The recorded floor lives in
-``benchmarks/results/cpu_instructions_per_sec.txt``.
+``benchmarks/results/cpu_instructions_per_sec.txt``; the floor values
+themselves live in ``benchmarks/conftest.py`` (set ``REPRO_CI=1`` to
+get the relaxed CI variants).
 """
 
+import os
 import sys
 import time
 
-from repro.core.funcsim import FunctionalRpu
-from repro.firmware import FORWARDER_ASM
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import FLOOR_SPEEDUP, FLOOR_TRANSLATED_IPS  # noqa: E402
+
+from repro.core.funcsim import FunctionalRpu  # noqa: E402
+from repro.firmware import FORWARDER_ASM  # noqa: E402
 
 PACKET_SIZE = 256
 BATCH = 8          # packets pushed per timed run (stays within slots)
 BATCHES = 1000     # total packets = BATCH * BATCHES per rep
 REPS = 3           # interleaved repetitions; best rep scores
-FLOOR_TRANSLATED_IPS = 500_000
-FLOOR_SPEEDUP = 3.0
 RESULTS_PATH = "benchmarks/results/cpu_instructions_per_sec.txt"
 
 

@@ -8,13 +8,11 @@ cores would become a bottleneck".  This benchmark quantifies that
 bottleneck; the resource side is checked against the PR-region model.
 """
 
-import pytest
 
 from repro.analysis import format_table, measure_throughput, software_limit_mpps
 from repro.core import RosebudConfig, RosebudSystem
 from repro.firmware import ForwarderFirmware, PigasusHwReorderFirmware
 from repro.hw import PIGASUS_ACCEL, components_for
-from repro.sim.clock import line_rate_pps
 from repro.traffic import FlowTrafficSource, ImixSource
 
 

@@ -8,12 +8,7 @@ FIFO depth.
 
 import pytest
 
-from repro.analysis import (
-    estimated_latency_us,
-    format_table,
-    measure_latency,
-    measure_throughput,
-)
+from repro.analysis import format_table, measure_latency, measure_throughput
 from repro.core import (
     BroadcastSystem,
     HashLB,

@@ -1,0 +1,135 @@
+"""Resilience benchmarks: the §4.1/§3.4 operational claims under
+injected faults.
+
+Three deterministic shape assertions (no perf floors, so these run
+everywhere including CI):
+
+* **no-pause reconfiguration** — while 1 of N RPUs reloads, aggregate
+  throughput never drops below (N-1)/N of baseline and is back at
+  baseline within the configured reload time;
+* **watchdog recovery** — a wedged RPU is detected within the watchdog
+  threshold, loses at most one RPU's worth of slot credits, and the
+  system recovers within the reload time;
+* **pool determinism** — a chaos experiment measured serially and
+  through the spawn pool produces byte-identical results.
+
+These tests use plain asserts (no pytest-benchmark fixture), so they
+run under vanilla pytest and `make bench-smoke` alike.
+"""
+
+import json
+
+from repro.analysis import (
+    ExperimentSpec,
+    MeasurementWindow,
+    SweepRunner,
+    TrafficProfile,
+    run_experiment,
+)
+from repro.core import RosebudConfig
+from repro.faults import FaultSpec
+
+N_RPUS = 8
+#: scaled reload (cycles at 250 MHz): preserves the drain->load->boot
+#: protocol while keeping the simulation tractable (paper: 756 ms)
+PR_LOAD_MS = 0.02
+LOAD_CYCLES = 5_000.0  # PR_LOAD_MS at 250 MHz
+SAMPLE_CYCLES = 10_000.0
+
+WINDOW = MeasurementWindow(warmup_packets=2_000, measure_packets=22_000)
+TRAFFIC = TrafficProfile(packet_size=512, offered_gbps=80.0, n_ports=2)
+
+
+def _chaos_spec(faults):
+    return ExperimentSpec(
+        config=RosebudConfig(n_rpus=N_RPUS),
+        traffic=TRAFFIC,
+        window=WINDOW,
+        faults=tuple(faults) + (
+            FaultSpec(kind="sampler", params={"interval_cycles": SAMPLE_CYCLES}),
+        ),
+    )
+
+
+def test_reconfig_no_pause_shape():
+    """§4.1: reloading 1 of N RPUs keeps (N-1)/N of baseline flowing."""
+    result = run_experiment(_chaos_spec([
+        FaultSpec(kind="reconfig", at_cycles=150_000.0, target=2,
+                  params={"pr_load_ms": PR_LOAD_MS}),
+    ]))
+    res = result.resilience
+    dip = res["dip"]
+    assert dip["baseline_gbps"] > 0
+    # the other N-1 RPUs keep absorbing: worst sampled interval stays
+    # above their fair share of baseline
+    floor = (N_RPUS - 1) / N_RPUS
+    assert dip["min_gbps"] >= floor * dip["baseline_gbps"], dip
+    # back at baseline by the end of the window: the dip (if any) is
+    # no wider than the reload itself
+    assert dip["recovered"], dip
+    assert dip["width_cycles"] <= LOAD_CYCLES + 2 * SAMPLE_CYCLES, dip
+    # the reconfiguration completed within the configured reload time
+    # (drain is bounded by the slowest in-flight packet)
+    record = res["reconfig"][0]
+    assert record["booted_at"] > 0
+    assert LOAD_CYCLES <= record["total_cycles"] <= LOAD_CYCLES + 5_000.0
+    # no-pause means no eviction: nothing was abandoned
+    assert res["packets_lost"] == 0
+
+
+def test_watchdog_recovers_wedged_rpu():
+    """§3.4/A.8: wedge one RPU; the watchdog detects, evicts, reloads."""
+    threshold, poll = 30_000.0, 5_000.0
+    result = run_experiment(_chaos_spec([
+        FaultSpec(kind="rpu_wedge", at_cycles=100_000.0, target=3),
+        FaultSpec(kind="watchdog", params={
+            "threshold_cycles": threshold,
+            "poll_cycles": poll,
+            "pr_load_ms": PR_LOAD_MS,
+        }),
+    ]))
+    res = result.resilience
+    events = res["watchdog"]
+    assert len(events) == 1
+    event = events[0]
+    assert event["rpu"] == 3
+    # time-to-detect bounded by threshold + one poll period
+    assert threshold <= res["time_to_detect_cycles"] <= threshold + poll
+    # loss bounded by one RPU's slot credits
+    slots_per_rpu = RosebudConfig(n_rpus=N_RPUS).slots_per_rpu
+    assert 0 < event["packets_lost"] <= slots_per_rpu
+    assert res["packets_lost"] == event["packets_lost"]
+    # MTTR: eviction makes the drain instant, so recovery is the reload
+    assert LOAD_CYCLES <= event["recovery_cycles"] <= LOAD_CYCLES + 2 * poll
+    # the other N-1 RPUs keep their share flowing throughout
+    dip = res["dip"]
+    assert dip["min_gbps"] >= (N_RPUS - 1) / N_RPUS * dip["baseline_gbps"], dip
+    assert dip["recovered"], dip
+
+
+def test_chaos_serial_vs_pooled_byte_identical():
+    """Same seeds, same faults: the spawn pool must reproduce the
+    serial run byte-for-byte, resilience report included."""
+    specs = [
+        _chaos_spec([
+            FaultSpec(kind="rpu_wedge", at_cycles=100_000.0, target=3),
+            FaultSpec(kind="watchdog", params={
+                "threshold_cycles": 30_000.0,
+                "poll_cycles": 5_000.0,
+                "pr_load_ms": PR_LOAD_MS,
+            }),
+        ]),
+        _chaos_spec([
+            FaultSpec(kind="mac_corrupt", at_cycles=50_000.0, target=0,
+                      duration_cycles=100_000.0, magnitude=0.25, seed=7),
+        ]),
+    ]
+    serial = SweepRunner(jobs=1).run(specs).raise_on_failure()
+    pooled = SweepRunner(jobs=2).run(specs).raise_on_failure()
+    for left, right in zip(serial.results, pooled.results):
+        a = json.dumps(left.to_dict(), sort_keys=True)
+        b = json.dumps(right.to_dict(), sort_keys=True)
+        assert a == b
+    # and the chaos actually happened: the reports are non-trivial
+    assert serial.results[0].resilience["watchdog"]
+    assert serial.results[1].resilience["mac"]["rx_csum_drops"] > 0

@@ -7,7 +7,6 @@ raw rate, system-level packets/second, and ISS instructions/second —
 so regressions in the simulator itself are caught.
 """
 
-import pytest
 
 from repro.core import RosebudConfig, RosebudSystem
 from repro.core.funcsim import FunctionalRpu
@@ -37,7 +36,7 @@ def test_kernel_event_rate(benchmark):
     assert events >= 10_000
 
 
-def test_kernel_events_per_sec_profile(benchmark, emit):
+def test_kernel_events_per_sec_profile(benchmark, emit, perf_floors):
     """Tracked number: kernel dispatch rate via ``Simulator.run_profile``.
 
     The profile names the hot events, so a regression report says *what*
@@ -61,8 +60,9 @@ def test_kernel_events_per_sec_profile(benchmark, emit):
     assert profile.events_processed == 40_000
     assert profile.top_events[0][0] == "chain"
     # Loose floor (a tenth of what a cold laptop core manages) so only a
-    # real kernel regression trips it, not machine noise.
-    assert profile.events_per_sec > 50_000
+    # real kernel regression trips it, not machine noise; relaxed
+    # further under REPRO_CI=1 (see conftest.py).
+    assert profile.events_per_sec > perf_floors["events_per_sec"]
 
 
 def test_system_packet_rate(benchmark):

@@ -40,6 +40,9 @@ class Accelerator:
 
     def __init__(self) -> None:
         self._regs: Dict[int, Tuple[Optional[callable], Optional[callable], int]] = {}
+        self._fault_active = False
+        #: results that went through the poisoned response path
+        self.results_poisoned = 0
 
     def define_register(
         self,
@@ -72,6 +75,32 @@ class Accelerator:
     def mmio_handlers(self):
         """(read, write) pair suitable for ``MemoryBus.add_mmio``."""
         return (lambda off, n: self.read_reg(off, n), lambda off, v, n: self.write_reg(off, v, n))
+
+    # -- fault injection (repro.faults) ------------------------------------------
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_active
+
+    def inject_fault(self, active: bool = True) -> None:
+        """Arm (or clear) the poisoned-result fault: while active, every
+        result passed through :meth:`guard` comes back corrupted with
+        its parity flag low, so firmware can detect the bad read and
+        orchestrate a software re-run — recovery as just another thing
+        the core schedules."""
+        self._fault_active = active
+
+    def guard(self, value: int) -> Tuple[int, bool]:
+        """Pass a result through the (possibly faulty) response path.
+
+        Returns ``(value_as_read, parity_ok)``: the value firmware saw
+        over MMIO and whether the wrapper's parity check passed.  With
+        no fault armed this is ``(value, True)``.
+        """
+        if self._fault_active:
+            self.results_poisoned += 1
+            return value ^ 0x1, False
+        return value, True
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -23,7 +23,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
-from ..packet.headers import HeaderError, int_to_ip, ip_to_int
+from ..packet.headers import int_to_ip, ip_to_int
 from .base import Accelerator
 
 #: Cycles for one lookup: stage-1 (9 bits) + stage-2 (remaining bits).

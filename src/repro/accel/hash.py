@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..packet.headers import ip_to_int
 from ..packet.packet import Packet

@@ -9,7 +9,7 @@ runtime through Rosebud's memory subsystem.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Set
 
 from .ruleset import Rule
 from ..base import Accelerator

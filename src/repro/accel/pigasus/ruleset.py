@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import random
 import re
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 _RULE_RE = re.compile(
     r"^(alert|block|drop)\s+(tcp|udp|ip)\s+(\S+)\s+(\S+)\s*->\s*(\S+)\s+(\S+)\s*\((.*)\)\s*$"

@@ -19,7 +19,7 @@ hardware.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .ruleset import Rule
 from ..base import Accelerator

@@ -59,6 +59,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     system = spec.build_system()
     sources = spec.build_sources(system)
+    controller = None
+    if spec.faults:
+        # chaos path: schedule the campaign before traffic starts so
+        # fault times are absolute simulation cycles
+        from ..faults import install_faults
+
+        controller = install_faults(system, spec.faults)
     key = spec.cache_key()
     if spec.measure == "latency":
         histogram = _measure_latency(system, sources, spec.window)
@@ -76,6 +83,12 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         result = ExperimentResult(spec_key=key, throughput=throughput)
     result.counters = system.counters.snapshot()
     result.firmware_totals = _firmware_totals(system)
+    if controller is not None:
+        from ..faults import resilience_report
+
+        controller.host.stop_watchdog()
+        controller.sampler.stop()
+        result.resilience = resilience_report(controller)
     return result
 
 

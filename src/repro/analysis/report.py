@@ -6,7 +6,7 @@ these helpers keep that output consistent and readable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 
 def format_table(

@@ -33,11 +33,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.config import RosebudConfig
 from ..core.lb import HashLB, LBPolicy, LeastLoadedLB, PowerOfTwoChoicesLB, RoundRobinLB
 from ..core.system import RosebudSystem
+from ..faults.spec import FaultSpec
 
 #: Bump when the measurement semantics change incompatibly, so stale
 #: cache entries from older code never satisfy a new run.
 #: v2: cpu_backend field (closure-translated ISS fast path).
-SPEC_VERSION = 2
+#: v3: faults field (repro.faults chaos campaigns + resilience report).
+SPEC_VERSION = 3
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -231,6 +233,7 @@ class ExperimentSpec:
     setup: Optional[Callable[[RosebudSystem], None]] = None
     source_factory: Optional[Callable[[RosebudSystem, int, float], Any]] = None
     cpu_backend: Optional[str] = None
+    faults: Tuple[FaultSpec, ...] = ()
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -262,6 +265,26 @@ class ExperimentSpec:
                 f"unknown traffic source {self.traffic.source!r}; "
                 f"choices: {sorted(SOURCE_REGISTRY)}"
             )
+        # normalise faults: accept a list of FaultSpec or plain dicts
+        if not isinstance(self.faults, tuple):
+            self.faults = tuple(self.faults)
+        self.faults = tuple(
+            f if isinstance(f, FaultSpec) else FaultSpec.from_dict(dict(f))
+            for f in self.faults
+        )
+        for fault in self.faults:
+            if fault.kind in ("rpu_wedge", "accel_fault", "reconfig"):
+                if fault.target >= self.config.n_rpus:
+                    raise SpecError(
+                        f"fault {fault.kind!r} targets rpu {fault.target} "
+                        f"but the config has {self.config.n_rpus}"
+                    )
+            elif fault.kind in ("mac_corrupt", "link_flap"):
+                if not 0 <= fault.target < self.config.n_ports:
+                    raise SpecError(
+                        f"fault {fault.kind!r} targets port {fault.target} "
+                        f"but the config has {self.config.n_ports}"
+                    )
 
     # -- construction -----------------------------------------------------
 
@@ -325,6 +348,7 @@ class ExperimentSpec:
             if self.source_factory is None
             else _qualname(self.source_factory),
             "cpu_backend": self.cpu_backend,
+            "faults": [f.to_dict() for f in self.faults],
         }
 
     def cache_key(self) -> str:
@@ -358,6 +382,7 @@ class ExperimentResult:
     latency: Optional[Dict[str, float]] = None  # Histogram.summary()
     counters: Dict[str, int] = field(default_factory=dict)
     firmware_totals: Dict[str, int] = field(default_factory=dict)
+    resilience: Optional[Dict[str, Any]] = None  # resilience_report()
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -369,6 +394,8 @@ class ExperimentResult:
             out["throughput"] = self.throughput.to_dict()
         if self.latency is not None:
             out["latency"] = dict(self.latency)
+        if self.resilience is not None:
+            out["resilience"] = dict(self.resilience)
         return out
 
     @classmethod
@@ -384,6 +411,7 @@ class ExperimentResult:
             latency=data.get("latency"),
             counters=data.get("counters", {}),
             firmware_totals=data.get("firmware_totals", {}),
+            resilience=data.get("resilience"),
         )
 
 

@@ -10,7 +10,7 @@ benchmark reports print next to measured values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..core.config import RosebudConfig
 from ..sim.clock import line_rate_pps

@@ -15,7 +15,7 @@ and reports throughput from a calibrated per-packet CPU cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from ..accel.pigasus.ruleset import Rule
 from ..accel.pigasus.string_match import PigasusStringMatcher

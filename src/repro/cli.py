@@ -41,6 +41,7 @@ from .analysis import (
     run_experiment,
 )
 from .core import RosebudConfig
+from .faults import KNOWN_FAULT_KINDS, FaultSpec
 from .firmware import (
     FirewallFirmware,
     ForwarderFirmware,
@@ -334,6 +335,123 @@ def cmd_nat(args: argparse.Namespace) -> int:
     return 0
 
 
+#: --fault shorthand names -> FaultSpec field names.
+_FAULT_FIELD_ALIASES = {
+    "at": "at_cycles",
+    "duration": "duration_cycles",
+    "at_cycles": "at_cycles",
+    "duration_cycles": "duration_cycles",
+    "target": "target",
+    "magnitude": "magnitude",
+    "seed": "seed",
+}
+
+
+def _fault_value(text: str) -> Any:
+    """Best-effort typing for --fault values: int, then float, then str."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_fault_arg(text: str) -> FaultSpec:
+    """Parse one ``--fault kind:key=val,key=val`` argument.
+
+    Keys matching FaultSpec fields (``at``/``at_cycles``, ``target``,
+    ``duration``/``duration_cycles``, ``magnitude``, ``seed``) set those
+    fields; everything else rides in ``params`` (e.g. ``mode=lose``,
+    ``threshold_cycles=30000``).
+    """
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if kind not in KNOWN_FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choices: {sorted(KNOWN_FAULT_KINDS)}"
+        )
+    fields: Dict[str, Any] = {}
+    params: Dict[str, Any] = {}
+    for item in rest.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"--fault item {item!r} is not key=value")
+        key = key.strip()
+        if key in _FAULT_FIELD_ALIASES:
+            fields[_FAULT_FIELD_ALIASES[key]] = _fault_value(value.strip())
+        else:
+            params[key] = _fault_value(value.strip())
+    return FaultSpec(kind=kind, params=tuple(sorted(params.items())), **fields)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign and print the resilience report."""
+    try:
+        faults = tuple(parse_fault_arg(text) for text in args.fault)
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if not faults:
+        print("chaos: no --fault given (try --fault reconfig:at=200000,"
+              "target=0,pr_load_ms=0.1)", file=sys.stderr)
+        return 2
+    if args.firmware == "firewall":
+        prefixes = parse_blacklist(generate_blacklist(args.rules))
+        firmware, fw_args = FirewallFirmware, (IpBlacklistMatcher(prefixes),)
+    else:
+        firmware, fw_args = ForwarderFirmware, ()
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=firmware,
+        firmware_args=fw_args,
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=args.ports
+        ),
+        window=_window(args),
+        lb=_lb(args),
+        cpu_backend=_backend(args),
+        faults=faults,
+    )
+    outcome = run_experiment(spec)
+    result = outcome.throughput
+    resilience = outcome.resilience or {}
+    dip = resilience.get("dip", {})
+    print(format_table(
+        ["RPUs", "size(B)", "Gbps", "baseline Gbps", "min Gbps", "dip depth",
+         "dip width (cyc)"],
+        [[args.rpus, args.size, result.achieved_gbps,
+          dip.get("baseline_gbps", 0.0), dip.get("min_gbps", 0.0),
+          dip.get("depth", 0.0), dip.get("width_cycles", 0.0)]],
+        title=f"chaos: {', '.join(f.kind for f in faults)}",
+    ))
+    watchdog_rows = [
+        [w["rpu"], w["detected_at"], w["packets_lost"], w["recovery_cycles"]]
+        for w in resilience.get("watchdog", [])
+    ]
+    if watchdog_rows:
+        print(format_table(
+            ["RPU", "detected at (cyc)", "packets lost", "MTTR (cyc)"],
+            watchdog_rows, title="watchdog recoveries",
+        ))
+    mac = resilience.get("mac", {})
+    print(f"time to detect: {resilience.get('time_to_detect_cycles', 0.0):g} cycles; "
+          f"packets lost to eviction: {resilience.get('packets_lost', 0)}; "
+          f"csum drops: {mac.get('rx_csum_drops', 0)}; "
+          f"link drops: {mac.get('rx_link_drops', 0)}; "
+          f"poisoned accel results: {resilience.get('accel_results_poisoned', 0)}")
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(outcome.to_dict(), fh, sort_keys=True, indent=1)
+        print(f"wrote report to {args.json}")
+    return 0
+
+
 def _loopback_setup(n_rpus: int, system) -> None:
     system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << (n_rpus // 2)) - 1)
 
@@ -446,14 +564,13 @@ def cmd_image(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.cli", description="Rosebud reproduction host utilities"
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def _common_parser() -> argparse.ArgumentParser:
+    """The point-selection flags every experiment subcommand accepts.
 
-    # One parent parser so every experiment subcommand accepts the same
-    # point-selection flags with the same spellings.
+    Built fresh per subparser: ``set_defaults`` mutates the matching
+    action objects, so a *shared* parent would leak one subcommand's
+    defaults (e.g. loopback's ``size=128``) into every other.
+    """
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--rpus", type=int, default=16, help="number of RPUs")
     common.add_argument("--size", type=int, default=512, help="packet size, bytes")
@@ -468,27 +585,35 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--cpu-backend", choices=["interp", "translated"],
                         default=None,
                         help="ISS execution backend (default: translated)")
+    return common
 
-    p = sub.add_parser("profile", parents=[common],
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Rosebud reproduction host utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", parents=[_common_parser()],
                        help="forwarding throughput point")
     p.add_argument("--ports", type=int, default=2)
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("latency", parents=[common], help="latency sweep vs Eq.1")
+    p = sub.add_parser("latency", parents=[_common_parser()], help="latency sweep vs Eq.1")
     p.add_argument("--sizes", default="64,512,1500")
     p.set_defaults(func=cmd_latency, packets=200)
 
-    p = sub.add_parser("firewall", parents=[common],
+    p = sub.add_parser("firewall", parents=[_common_parser()],
                        help="firewall case study point")
     p.add_argument("--rules", type=int, default=1050)
     p.set_defaults(func=cmd_firewall)
 
-    p = sub.add_parser("ids", parents=[common], help="pigasus IPS case study point")
+    p = sub.add_parser("ids", parents=[_common_parser()], help="pigasus IPS case study point")
     p.add_argument("--mode", choices=["hw", "sw"], default="hw")
     p.add_argument("--rules", type=int, default=120)
     p.set_defaults(func=cmd_ids, rpus=8, size=800)
 
-    p = sub.add_parser("sweep", parents=[common],
+    p = sub.add_parser("sweep", parents=[_common_parser()],
                        help="grid sweep through the parallel engine")
     p.add_argument("--firmware", choices=sorted(FIRMWARE_CHOICES), default="forwarder")
     p.add_argument("--sizes", default="64,512,1500",
@@ -504,30 +629,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="CSV path for the rows")
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("resources", parents=[common], help="utilization report")
+    p = sub.add_parser("chaos", parents=[_common_parser()],
+                       help="fault-injection campaign + resilience report")
+    p.add_argument("--fault", action="append", default=[],
+                   metavar="KIND:KEY=VAL,...",
+                   help="add a fault, e.g. rpu_wedge:at=100000,target=3 "
+                        "(repeatable; kinds: " + ",".join(sorted(KNOWN_FAULT_KINDS)) + ")")
+    p.add_argument("--firmware", choices=["forwarder", "firewall"],
+                   default="forwarder")
+    p.add_argument("--rules", type=int, default=1050,
+                   help="blacklist size for --firmware firewall")
+    p.add_argument("--ports", type=int, default=2)
+    p.add_argument("--json", default=None, help="write the full report as JSON")
+    p.set_defaults(func=cmd_chaos, gbps=80.0, rpus=8, packets=20000, warmup=2000)
+
+    p = sub.add_parser("resources", parents=[_common_parser()], help="utilization report")
     p.set_defaults(func=cmd_resources)
 
-    p = sub.add_parser("nat", parents=[common], help="NAT middlebox point")
+    p = sub.add_parser("nat", parents=[_common_parser()], help="NAT middlebox point")
     p.set_defaults(func=cmd_nat, rpus=8, gbps=100.0)
 
-    p = sub.add_parser("loopback", parents=[common],
+    p = sub.add_parser("loopback", parents=[_common_parser()],
                        help="two-step loopback measurement")
     p.set_defaults(func=cmd_loopback, size=128, gbps=100.0)
 
-    p = sub.add_parser("calibrate", parents=[common],
+    p = sub.add_parser("calibrate", parents=[_common_parser()],
                        help="ISS speed/cycles-per-packet calibration")
     p.set_defaults(func=cmd_calibrate, packets=200)
 
-    p = sub.add_parser("disasm", parents=[common], help="disassemble firmware")
+    p = sub.add_parser("disasm", parents=[_common_parser()], help="disassemble firmware")
     p.add_argument("target", help="builtin name (forwarder/firewall/pigasus) or .rfw file")
     p.set_defaults(func=cmd_disasm)
 
-    p = sub.add_parser("image", parents=[common], help="build an RFW firmware image")
+    p = sub.add_parser("image", parents=[_common_parser()], help="build an RFW firmware image")
     p.add_argument("firmware", help="builtin name (forwarder/firewall/pigasus)")
     p.add_argument("--out", default="firmware.rfw")
     p.set_defaults(func=cmd_image)
 
-    p = sub.add_parser("trace", parents=[common], help="generate an attack pcap")
+    p = sub.add_parser("trace", parents=[_common_parser()], help="generate an attack pcap")
     p.add_argument("--kind", choices=["firewall", "ids"], default="firewall")
     p.add_argument("--rules", type=int, default=100)
     p.add_argument("--out", default="attack.pcap")

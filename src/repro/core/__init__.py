@@ -11,7 +11,7 @@ from .firmware_api import (
     FirmwareResult,
 )
 from .funcsim import FunctionalRpu, SentPacket
-from .host import HostInterface, ReconfigRecord
+from .host import HostInterface, ReconfigRecord, WatchdogEvent
 from .lb import (
     HashLB,
     LBPolicy,
@@ -53,6 +53,7 @@ __all__ = [
     "SentPacket",
     "HostInterface",
     "ReconfigRecord",
+    "WatchdogEvent",
     "HashLB",
     "LBPolicy",
     "LeastLoadedLB",

@@ -24,7 +24,7 @@ says which measured number in the paper pins it down:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from ..sim.clock import Clock, ROSEBUD_CLOCK

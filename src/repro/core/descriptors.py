@@ -10,8 +10,8 @@ a packet out.  :class:`SlotTable` is the LB-side credit accounting and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 
 class SlotError(RuntimeError):

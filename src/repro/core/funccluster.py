@@ -11,7 +11,7 @@ every core really executing its instructions.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from ..accel.base import Accelerator
 from .config import RosebudConfig

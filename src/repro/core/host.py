@@ -17,7 +17,7 @@ benchmark asserts exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..core.firmware_api import FirmwareModel
@@ -40,6 +40,24 @@ class ReconfigRecord:
         return self.booted_at - self.requested_at
 
 
+@dataclass
+class WatchdogEvent:
+    """One automatic hang recovery: detect -> evict -> reconfigure."""
+
+    rpu: int
+    detected_at: float
+    packets_lost: int
+    recovered_at: float = 0.0
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at > 0.0
+
+    def recovery_cycles(self) -> float:
+        """MTTR in cycles, from detection to the RPU serving again."""
+        return self.recovered_at - self.detected_at
+
+
 class HostInterface:
     """The host's view of a running Rosebud system."""
 
@@ -50,6 +68,9 @@ class HostInterface:
         #: but benchmarks can scale it to keep simulations short.
         self.pr_load_ms = pr_load_ms if pr_load_ms is not None else self.config.pr_load_ms
         self.reconfig_log: List[ReconfigRecord] = []
+        self.watchdog_log: List[WatchdogEvent] = []
+        self._watchdog_event = None
+        self._recovering: set = set()
 
     # -- status counters (§4.3) ----------------------------------------------------
 
@@ -107,11 +128,62 @@ class HostInterface:
         """Force-evict a wedged RPU (Appendix A.8): stop LB traffic to
         it, abandon its packets, and reclaim the slot credits.  Returns
         how many packets were abandoned.  Follow with
-        :meth:`reconfigure_rpu` to bring it back."""
+        :meth:`reconfigure_rpu` to bring it back.
+
+        Evicting the *last* active RPU is allowed but leaves the LB with
+        no candidates: ingress traffic queues at the ports (head-of-line
+        in the MAC FIFOs) until an RPU is reconfigured back in.
+        """
         self.system.lb.disable_rpu(rpu)
         abandoned = self.system.rpus[rpu].evict()
         self.system.lb.slots.flush(rpu)
+        # abandoned slots will never come back through the fabric; let
+        # head-of-line blocked ports retry against the flushed table
+        for ingress in self.system.port_ingress:
+            ingress.slot_freed()
         return len(abandoned)
+
+    # -- hang watchdog (Appendix A.8 automated) ----------------------------------------
+
+    def start_watchdog(
+        self,
+        firmware_factory: Callable[[], FirmwareModel],
+        threshold_cycles: float = 50_000.0,
+        poll_cycles: float = 5_000.0,
+    ) -> None:
+        """Poll :meth:`check_watchdogs` on the simulation clock and
+        auto-recover stalled RPUs: evict, then reconfigure with a fresh
+        ``firmware_factory()`` image.  Every recovery is logged as a
+        :class:`WatchdogEvent` (detection time, packets abandoned,
+        recovery completion)."""
+        if self._watchdog_event is not None:
+            raise RuntimeError("watchdog already running")
+        sim = self.system.sim
+
+        def poll() -> None:
+            for rpu in self.check_watchdogs(threshold_cycles):
+                if rpu in self._recovering:
+                    continue
+                self._recovering.add(rpu)
+                lost = self.evict_rpu(rpu)
+                event = WatchdogEvent(
+                    rpu=rpu, detected_at=sim.now, packets_lost=lost
+                )
+                self.watchdog_log.append(event)
+
+                def booted(record: ReconfigRecord, event: WatchdogEvent = event) -> None:
+                    event.recovered_at = record.booted_at
+                    self._recovering.discard(record.rpu)
+
+                self.reconfigure_rpu(rpu, firmware_factory(), on_complete=booted)
+            self._watchdog_event = sim.schedule(poll_cycles, poll, name="watchdog")
+
+        self._watchdog_event = sim.schedule(poll_cycles, poll, name="watchdog")
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog_event is not None:
+            self._watchdog_event.cancel()
+            self._watchdog_event = None
 
     # -- host DMA (firmware / table load & readback, Appendix A.6-A.7) -----------------
 

@@ -15,7 +15,6 @@ availability, and flushing slots.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..packet.packet import Packet

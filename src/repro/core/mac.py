@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..packet.checksum import ipv4_header_checksum_ok
 from ..packet.packet import Packet
 from ..sim.clock import wire_bytes
 from ..sim.kernel import Simulator
@@ -51,9 +52,20 @@ class MacPort:
         self.index = index
         self.counters = CounterSet(
             ["rx_frames", "rx_bytes", "rx_drops", "rx_runts", "rx_giants",
-             "tx_frames", "tx_bytes"]
+             "rx_csum_drops", "rx_link_drops", "tx_frames", "tx_bytes"]
         )
         self._on_rx = on_rx
+        #: fault-injection hook applied to every frame on the wire
+        #: before policing: return a (possibly mutated) packet, or None
+        #: to lose the frame entirely (repro.faults installs these)
+        self.rx_fault_hook: Optional[Callable[[Packet], Optional[Packet]]] = None
+        #: when True, frames whose IPv4 header checksum fails are
+        #: dropped with ``rx_csum_drops`` accounting (a real CMAC's FCS
+        #: policing stands in for it; corruption injectors enable this)
+        self.verify_checksums = False
+        #: link state: while down, RX frames are lost on the wire and
+        #: the TX serializer pauses (frames back up in its FIFO)
+        self.link_up = True
 
         period = config.clock.period_ns
         gbps = config.port_gbps
@@ -82,6 +94,18 @@ class MacPort:
 
     def receive(self, packet: Packet) -> None:
         """A frame starts arriving on the wire."""
+        if not self.link_up:
+            self.counters.add("rx_link_drops")
+            self.counters.add("rx_drops")
+            packet.drop("link down")
+            return
+        if self.rx_fault_hook is not None:
+            mutated = self.rx_fault_hook(packet)
+            if mutated is None:
+                self.counters.add("rx_drops")
+                packet.drop("lost on the wire")
+                return
+            packet = mutated
         if packet.size < MIN_FRAME_BYTES:
             self.counters.add("rx_runts")
             self.counters.add("rx_drops")
@@ -103,6 +127,11 @@ class MacPort:
         )
 
     def _rx_enqueue(self, packet: Packet) -> None:
+        if self.verify_checksums and ipv4_header_checksum_ok(packet.data) is False:
+            self.counters.add("rx_csum_drops")
+            self.counters.add("rx_drops")
+            packet.drop("ipv4 header checksum mismatch")
+            return
         if not self.rx_fifo.push(packet, packet.size + _FIFO_BYTES_PER_FRAME):
             self.counters.add("rx_drops")
             packet.drop("mac rx fifo full")
@@ -118,6 +147,24 @@ class MacPort:
 
     def rx_backlog(self) -> int:
         return len(self.rx_fifo)
+
+    # -- link state (fault injection) --------------------------------------------
+
+    def set_link(self, up: bool) -> None:
+        """Flap the link: while down, wire arrivals are lost and the TX
+        serializer pauses so outgoing frames back up in its FIFO — the
+        backpressure a transient flap propagates into the switch."""
+        if up == self.link_up:
+            return
+        self.link_up = up
+        if up:
+            self._tx_link.resume()
+        else:
+            self._tx_link.pause()
+
+    def tx_backlog(self) -> int:
+        """Frames waiting in (or blocked behind) the TX serializer."""
+        return len(self._tx_link.queue) + int(self._tx_link.busy)
 
     # -- TX --------------------------------------------------------------------
 

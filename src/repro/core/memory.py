@@ -30,7 +30,7 @@ packet-memory port, never the other way around).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .config import RosebudConfig

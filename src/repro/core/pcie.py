@@ -17,7 +17,7 @@ LB's packet slots (§4.2).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Optional
 
 from ..packet.packet import Packet
 from ..sim.kernel import Simulator

@@ -10,8 +10,8 @@ reconfigured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from .system import RosebudSystem
 

@@ -16,7 +16,7 @@ MMIO accelerators — lives in :mod:`repro.core.funcsim`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from ..packet.packet import Packet
 from ..sim.kernel import Simulator
@@ -49,6 +49,14 @@ class RpuModel:
         self._results: Dict[int, FirmwareResult] = {}
         self._sw_busy = False
         self._accel_busy = False
+        #: firmware hang (infinite loop / WFI-stuck core): descriptors
+        #: queue up but nothing retires until eviction or :meth:`unwedge`
+        self._wedged = False
+        #: set by evict() until the next reboot/resume: frames already
+        #: in the fabric when the host evicted are lost on arrival
+        self._evicted = False
+        #: completions swallowed while wedged, replayed on unwedge
+        self._stuck: list = []
         #: host-readable status word the firmware can set (§3.4: the
         #: breakpoint-like mechanism — the host watches it change)
         self.status_register = 0
@@ -75,6 +83,11 @@ class RpuModel:
     def deliver(self, packet: Packet) -> None:
         """A packet has fully landed in this RPU's packet memory and
         the interconnect posts its descriptor to the core."""
+        if self._evicted:
+            # the PR region is mid-reload; the host already flushed this
+            # packet's slot, so the frame is simply lost on arrival
+            packet.drop("rpu evicted")
+            return
         packet.stamp("rpu_deliver", self.sim.now)
         self._in_queue.append(packet)
         self._kick_sw()
@@ -82,7 +95,7 @@ class RpuModel:
     # -- core (software) stage -----------------------------------------------------
 
     def _kick_sw(self) -> None:
-        if self._sw_busy or self.paused or not self._in_queue:
+        if self._sw_busy or self.paused or self._wedged or not self._in_queue:
             return
         packet = self._in_queue.popleft()
         result = self.firmware.process(packet, self.index)
@@ -100,6 +113,9 @@ class RpuModel:
     def _sw_done(self, packet: Packet, generation: int) -> None:
         if generation != self._generation:
             return  # evicted while in flight
+        if self._wedged:
+            self._stuck.append(("sw", packet))
+            return  # completion swallowed by the hung core
         self._sw_busy = False
         result = self._results[packet.packet_id]
         if result.accel_cycles > 0:
@@ -128,6 +144,9 @@ class RpuModel:
     def _accel_done(self, packet: Packet, generation: int) -> None:
         if generation != self._generation:
             return  # evicted while in flight
+        if self._wedged:
+            self._stuck.append(("accel", packet))
+            return  # completion swallowed by the hung core
         self._accel_busy = False
         self._finish(packet)
         self._kick_accel()
@@ -151,6 +170,34 @@ class RpuModel:
             return False
         return self.sim.now - self.last_progress > threshold_cycles
 
+    # -- fault injection (firmware hang, repro.faults) ---------------------------------
+
+    @property
+    def wedged(self) -> bool:
+        return self._wedged
+
+    def wedge(self) -> None:
+        """Firmware hang: the core stops picking up descriptors and
+        in-flight completions never retire, so ``in_flight`` stays
+        pinned and :meth:`stalled` eventually reports the hang — the
+        condition the host watchdog exists to recover from."""
+        self._wedged = True
+
+    def unwedge(self) -> None:
+        """The hang resolves on its own (transient livelock): swallowed
+        completions retire now and queued descriptors resume."""
+        if not self._wedged:
+            return
+        self._wedged = False
+        stuck, self._stuck = self._stuck, []
+        for stage, packet in stuck:
+            if stage == "sw":
+                self._sw_done(packet, self._generation)
+            else:
+                self._accel_done(packet, self._generation)
+        self._kick_sw()
+        self._kick_accel()
+
     # -- host control (pause / reboot, §3.4 & §4.1) -------------------------------------
 
     def pause(self) -> None:
@@ -161,18 +208,25 @@ class RpuModel:
         """The evict interrupt (Appendix A.8): abandon queued and
         in-flight packets so the RPU can be reloaded even when hung.
         Returns the abandoned packets (the host frees their slots)."""
-        abandoned = list(self._in_queue) + list(self._accel_queue)
+        abandoned = (
+            list(self._in_queue)
+            + list(self._accel_queue)
+            + [packet for _stage, packet in self._stuck]
+        )
         self._in_queue.clear()
         self._accel_queue.clear()
+        self._stuck.clear()
         self._results.clear()
         self._sw_busy = False
         self._accel_busy = False
         self._generation += 1
         self.paused = True
+        self._evicted = True
         return abandoned
 
     def resume(self) -> None:
         self.paused = False
+        self._evicted = False
         self._kick_sw()
 
     def reboot(self, firmware: Optional[FirmwareModel] = None) -> None:
@@ -182,4 +236,9 @@ class RpuModel:
         if firmware is not None:
             self.firmware = firmware
         self.firmware.on_boot(self.index, self.config)
+        # a fresh bitfile + boot clears any firmware hang
+        self._wedged = False
+        self._stuck.clear()
         self.paused = False
+        self._evicted = False
+        self.last_progress = self.sim.now

@@ -15,7 +15,7 @@ which is what fills the MAC FIFO under overload.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from ..packet.packet import Packet
 from ..sim.kernel import Simulator

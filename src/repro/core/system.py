@@ -22,23 +22,15 @@ exactly the overload behaviour §6.2 measures.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..packet.packet import Packet
-from ..sim.clock import wire_bytes
 from ..sim.kernel import Simulator
 from ..sim.resources import SerialLink
 from ..sim.stats import CounterSet, Histogram, RateMeter
 from .config import RosebudConfig
 from .descriptors import SlotError
-from .firmware_api import (
-    ACTION_DROP,
-    ACTION_FORWARD,
-    ACTION_HOST,
-    ACTION_LOOPBACK,
-    FirmwareModel,
-    FirmwareResult,
-)
+from .firmware_api import ACTION_DROP, ACTION_HOST, ACTION_LOOPBACK, FirmwareModel, FirmwareResult
 from .lb import LBPolicy, LoadBalancer
 from .mac import MacPort
 from .messaging import BroadcastSystem, LoopbackPort

@@ -1,0 +1,52 @@
+"""Deterministic fault injection & resilience measurement.
+
+The paper's key operational claims — hanged-RPU eviction (§3.4,
+Appendix A.8) and no-pause partial reconfiguration (§4.1) — are about
+how the system behaves *when things go wrong*.  This package makes
+"things going wrong" a declarative, seedable part of an experiment:
+
+* :class:`FaultSpec` — one fault as plain data (picklable, hashable),
+* :class:`InjectorRegistry` / :func:`install_faults` — schedule faults
+  on the simulation clock,
+* :func:`resilience_report` — time-to-detect, MTTR, packets lost, and
+  throughput dip depth/width from the sampler time series.
+
+``ExperimentSpec(faults=[...])`` runs a chaos experiment through the
+same engine, cache, and spawn pool as any other measurement.
+"""
+
+from .injectors import (
+    REGISTRY,
+    FaultController,
+    FaultInjector,
+    InjectorRegistry,
+    install_faults,
+)
+from .metrics import (
+    DIP_THRESHOLD,
+    baseline_gbps,
+    dip_profile,
+    reconfig_summary,
+    resilience_report,
+    time_to_detect,
+    watchdog_summary,
+)
+from .spec import KNOWN_FAULT_KINDS, FaultSpec, FaultSpecError
+
+__all__ = [
+    "REGISTRY",
+    "FaultController",
+    "FaultInjector",
+    "InjectorRegistry",
+    "install_faults",
+    "DIP_THRESHOLD",
+    "baseline_gbps",
+    "dip_profile",
+    "reconfig_summary",
+    "resilience_report",
+    "time_to_detect",
+    "watchdog_summary",
+    "KNOWN_FAULT_KINDS",
+    "FaultSpec",
+    "FaultSpecError",
+]

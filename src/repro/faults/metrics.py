@@ -1,0 +1,135 @@
+"""Resilience metrics over a chaos run.
+
+Everything here is computed from *simulation-time* quantities — sample
+timestamps in cycles, watchdog/reconfiguration logs, counter deltas —
+so the report is bit-identical between a serial run and a spawn-pool
+worker, and byte-identical when serialised with ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Any, Dict, List, Sequence
+
+from ..core.profiler import Sample
+
+#: A sample counts as inside the dip when its rate falls below this
+#: fraction of baseline.
+DIP_THRESHOLD = 0.9
+
+
+def baseline_gbps(samples: Sequence[Sample], skip: int = 1) -> float:
+    """Robust steady-state throughput: the median across the window —
+    a dip of a few intervals cannot move it the way a mean would."""
+    steady = list(samples[skip:])
+    if not steady:
+        return 0.0
+    return median(s.gbps for s in steady)
+
+
+def dip_profile(
+    samples: Sequence[Sample],
+    skip: int = 1,
+    threshold: float = DIP_THRESHOLD,
+) -> Dict[str, float]:
+    """Depth and width of the worst throughput excursion.
+
+    * ``depth`` — ``1 - min/baseline`` (0 means perfectly flat),
+    * ``width_cycles`` — total simulated time spent below
+      ``threshold * baseline``,
+    * ``recovered`` — whether the *last* sample is back above the
+      threshold (the dip ended inside the window).
+    """
+    steady = list(samples[skip:])
+    base = baseline_gbps(samples, skip)
+    if not steady or base <= 0:
+        return {
+            "baseline_gbps": 0.0,
+            "min_gbps": 0.0,
+            "depth": 0.0,
+            "width_cycles": 0.0,
+            "recovered": True,
+        }
+    floor = threshold * base
+    low = min(s.gbps for s in steady)
+    width = sum(
+        s.t_end_cycles - s.t_start_cycles for s in steady if s.gbps < floor
+    )
+    return {
+        "baseline_gbps": base,
+        "min_gbps": low,
+        "depth": max(0.0, 1.0 - low / base),
+        "width_cycles": width,
+        "recovered": steady[-1].gbps >= floor,
+    }
+
+
+def watchdog_summary(watchdog_log) -> List[Dict[str, Any]]:
+    """One row per automatic recovery: detection time, packets lost to
+    the eviction, and MTTR in cycles (0 while still reloading)."""
+    return [
+        {
+            "rpu": event.rpu,
+            "detected_at": event.detected_at,
+            "packets_lost": event.packets_lost,
+            "recovered_at": event.recovered_at,
+            "recovery_cycles": event.recovery_cycles() if event.recovered else 0.0,
+        }
+        for event in watchdog_log
+    ]
+
+
+def reconfig_summary(reconfig_log) -> List[Dict[str, Any]]:
+    return [
+        {
+            "rpu": record.rpu,
+            "requested_at": record.requested_at,
+            "drained_at": record.drained_at,
+            "booted_at": record.booted_at,
+            "drain_cycles": record.drain_cycles() if record.drained_at else 0.0,
+            "total_cycles": record.total_cycles() if record.booted_at else 0.0,
+        }
+        for record in reconfig_log
+    ]
+
+
+def time_to_detect(events: Sequence[Dict[str, Any]], watchdog_log) -> float:
+    """Cycles from the first fault firing to the first watchdog
+    detection (0 when either never happened)."""
+    starts = [
+        e["t"]
+        for e in events
+        if e["phase"] == "start" and e["kind"] not in ("watchdog", "reconfig")
+    ]
+    if not starts or not watchdog_log:
+        return 0.0
+    return max(0.0, watchdog_log[0].detected_at - min(starts))
+
+
+def resilience_report(controller, skip: int = 1) -> Dict[str, Any]:
+    """The full chaos-run summary, JSON-safe and deterministic.
+
+    ``controller`` is the :class:`~repro.faults.injectors.FaultController`
+    returned by ``install_faults``; call after the measurement window.
+    """
+    system = controller.system
+    mac_totals = {
+        key: sum(mac.counters.value(key) for mac in system.macs)
+        for key in ("rx_drops", "rx_csum_drops", "rx_link_drops")
+    }
+    report: Dict[str, Any] = {
+        "dip": dip_profile(controller.sampler.samples, skip),
+        "samples": len(controller.sampler.samples),
+        "events": list(controller.events),
+        "watchdog": watchdog_summary(controller.host.watchdog_log),
+        "reconfig": reconfig_summary(controller.host.reconfig_log),
+        "time_to_detect_cycles": time_to_detect(
+            controller.events, controller.host.watchdog_log
+        ),
+        "packets_lost": sum(e.packets_lost for e in controller.host.watchdog_log),
+        "mac": mac_totals,
+        "accel_results_poisoned": sum(
+            accel.results_poisoned for accel in controller.rpu_accelerators(-1)
+        ),
+    }
+    return report

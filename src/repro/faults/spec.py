@@ -1,0 +1,111 @@
+"""Declarative fault descriptions: :class:`FaultSpec`.
+
+A fault is *data*, not code: kind, trigger time, target, duration and
+a seed.  This keeps chaos experiments first-class citizens of the
+:class:`~repro.analysis.spec.ExperimentSpec` world — picklable for the
+spawn pool, stably hashable for the result cache, and reproducible
+from the JSON the sweep engine writes out.
+
+Known kinds (each maps to an injector in :mod:`repro.faults.injectors`):
+
+``rpu_wedge``
+    Firmware on RPU ``target`` stops making progress at ``at_cycles``;
+    a positive ``duration_cycles`` makes the wedge transient.
+``mac_corrupt``
+    Frames on port ``target`` are corrupted / truncated / lost with
+    probability ``magnitude`` for ``duration_cycles`` (``params``:
+    ``mode`` in ``corrupt``/``truncate``/``lose``).
+``link_flap``
+    Port ``target`` loses link for ``duration_cycles``.
+``accel_fault``
+    The accelerator(s) of RPU ``target`` return poisoned results for
+    ``duration_cycles`` (``target < 0`` poisons every RPU).
+``reconfig``
+    A host-initiated evict-free partial reconfiguration of RPU
+    ``target`` at ``at_cycles`` (the §4.1 no-pause experiment).
+``watchdog``
+    Start the host hang watchdog at ``at_cycles`` (``params``:
+    ``threshold_cycles``, ``poll_cycles``).
+``sampler``
+    Override the resilience sampler interval (``params``:
+    ``interval_cycles``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Tuple
+
+KNOWN_FAULT_KINDS = (
+    "rpu_wedge",
+    "mac_corrupt",
+    "link_flap",
+    "accel_fault",
+    "reconfig",
+    "watchdog",
+    "sampler",
+)
+
+
+class FaultSpecError(ValueError):
+    """Raised for inconsistent fault specifications."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault event.
+
+    ``params`` accepts a plain dict for convenience and is normalised
+    to sorted ``(key, value)`` tuples so specs hash and pickle stably.
+    """
+
+    kind: str
+    at_cycles: float = 0.0
+    target: int = 0
+    duration_cycles: float = 0.0
+    magnitude: float = 1.0
+    seed: int = 0
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choices: {sorted(KNOWN_FAULT_KINDS)}"
+            )
+        if self.at_cycles < 0:
+            raise FaultSpecError(f"fault cannot fire in the past (at={self.at_cycles})")
+        if self.duration_cycles < 0:
+            raise FaultSpecError("duration must be non-negative")
+        if not 0.0 <= self.magnitude <= 1.0:
+            raise FaultSpecError(
+                f"magnitude {self.magnitude} must be a probability in [0, 1]"
+            )
+        if isinstance(self.params, dict):
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.kwargs.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at_cycles": self.at_cycles,
+            "target": self.target,
+            "duration_cycles": self.duration_cycles,
+            "magnitude": self.magnitude,
+            "seed": self.seed,
+            "params": {k: v for k, v in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultSpecError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(**data)

@@ -26,6 +26,10 @@ from ..packet.packet import Packet
 FIREWALL_CYCLES = 42
 #: Non-IPv4 packets skip the accelerator round trip.
 FIREWALL_NON_IP_CYCLES = 24
+#: Extra core cycles when the accelerator's parity check fails and the
+#: lookup is redone in software (linear prefix scan) — the paper's
+#: orchestration-in-software insight applied to fault recovery.
+FIREWALL_SW_FALLBACK_CYCLES = 400
 
 
 class FirewallFirmware(FirmwareModel):
@@ -42,6 +46,14 @@ class FirewallFirmware(FirmwareModel):
         self.matcher = matcher
         self.dropped = 0
         self.forwarded = 0
+        #: poisoned accelerator reads this firmware caught and redid in
+        #: software (summed into ``firmware_totals`` by the engine)
+        self.accel_faults_recovered = 0
+
+    def _software_check(self, src_ip: int) -> bool:
+        """Pure-software fallback: linear scan of the compiled prefix
+        list, no accelerator involved."""
+        return any(prefix.matches(src_ip) for prefix in self.matcher.prefixes)
 
     def process(self, packet: Packet, rpu_index: int) -> FirmwareResult:
         parsed = packet.parsed
@@ -52,13 +64,22 @@ class FirewallFirmware(FirmwareModel):
         src_ip = ip_to_int(parsed.ipv4.src)
         # MMIO: write ACC_SRC_IP, 2-cycle lookup, read ACC_FW_MATCH —
         # the blocking read is included in FIREWALL_CYCLES
-        if self.matcher.check(src_ip):
+        seen, parity_ok = self.matcher.guard(int(self.matcher.check(src_ip)))
+        sw_cycles = FIREWALL_CYCLES
+        if parity_ok:
+            match = bool(seen)
+        else:
+            # parity failed: distrust the read and redo it in software
+            self.accel_faults_recovered += 1
+            match = self._software_check(src_ip)
+            sw_cycles += FIREWALL_SW_FALLBACK_CYCLES
+        if match:
             self.dropped += 1
-            return FirmwareResult(action=ACTION_DROP, sw_cycles=FIREWALL_CYCLES)
+            return FirmwareResult(action=ACTION_DROP, sw_cycles=sw_cycles)
         self.forwarded += 1
         return FirmwareResult(
             action=ACTION_FORWARD,
-            sw_cycles=FIREWALL_CYCLES,
+            sw_cycles=sw_cycles,
             egress_port=packet.ingress_port ^ 1,
         )
 

@@ -21,7 +21,7 @@ to the host.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..accel.pigasus.port_match import PigasusPortMatcher
 from ..accel.pigasus.ruleset import Rule

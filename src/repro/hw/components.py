@@ -9,7 +9,6 @@ simple arbitration-scaling interpolation for other RPU counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from .resources import ResourceVector
 

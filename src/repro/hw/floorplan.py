@@ -17,8 +17,8 @@ crosses a boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..core.config import RosebudConfig
 

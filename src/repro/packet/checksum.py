@@ -44,3 +44,33 @@ def transport_checksum(
 ) -> int:
     """TCP/UDP checksum over pseudo-header + segment."""
     return internet_checksum(pseudo_header(src_ip, dst_ip, protocol, len(segment)) + segment)
+
+
+def ipv4_header_checksum_ok(frame: bytes):
+    """Validate the IPv4 header checksum of an Ethernet frame.
+
+    Returns True/False for IPv4 frames (VLAN-tagged included) and None
+    when the frame carries no parseable IPv4 header — the MAC's
+    checksum-verify stage only polices packets it can classify.
+    """
+    offset = 14
+    if len(frame) < offset + 2:
+        return None
+    ethertype = (frame[12] << 8) | frame[13]
+    if ethertype == 0x8100:  # VLAN tag
+        if len(frame) < 18:
+            return None
+        ethertype = (frame[16] << 8) | frame[17]
+        offset = 18
+    if ethertype != 0x0800:
+        return None
+    if len(frame) < offset + 20:
+        return None
+    version_ihl = frame[offset]
+    if version_ihl >> 4 != 4:
+        return None
+    header_len = (version_ihl & 0xF) * 4
+    if header_len < 20 or len(frame) < offset + header_len:
+        return None
+    # a valid header sums to 0xFFFF (checksum field included)
+    return ones_complement_sum(frame[offset : offset + header_len]) == 0xFFFF

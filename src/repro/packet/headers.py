@@ -9,7 +9,7 @@ describes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from .checksum import internet_checksum, transport_checksum

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, Iterator, List, Union
 
 from .packet import Packet
 

@@ -15,7 +15,7 @@ place of riscv-gcc in the artifact.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .isa import (

@@ -15,10 +15,10 @@ the core traps to ``mtvec`` with ``mcause`` indicating the line.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from .bus import BusError, MemoryBus
+from .bus import MemoryBus
 from .isa import (
     CC_BRANCH,
     CC_CSR,

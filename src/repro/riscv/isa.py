@@ -9,7 +9,7 @@ timer/interrupt machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 class DecodeError(ValueError):

@@ -101,6 +101,7 @@ class SerialLink:
         self._on_done = on_done
         self.queue = BoundedFifo(name + ".q", queue_capacity_bytes)
         self._busy = False
+        self._paused = False
         self.busy_time = 0.0
         #: if set, the item is *delivered* this many time units after
         #: service starts (cut-through), while the link stays occupied
@@ -111,6 +112,22 @@ class SerialLink:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop starting new items (the in-flight one completes); queued
+        items wait — how a downed link backpressures its FIFO."""
+        self._paused = True
+
+    def resume(self) -> None:
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._busy:
+            self._start_next()
 
     def utilization(self, elapsed: float) -> float:
         return self.busy_time / elapsed if elapsed > 0 else 0.0
@@ -125,6 +142,9 @@ class SerialLink:
         return True
 
     def _start_next(self) -> None:
+        if self._paused:
+            self._busy = False
+            return
         entry = self.queue.pop()
         if entry is None:
             self._busy = False

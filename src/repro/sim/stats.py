@@ -8,7 +8,7 @@ latency-sampling machinery the evaluation uses (§6.2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

@@ -13,9 +13,9 @@ import itertools
 import random
 from typing import Callable, List, Optional, Sequence
 
-from ..packet.builder import build_tcp, build_udp
+from ..packet.builder import build_tcp
 from ..packet.packet import Packet
-from ..sim.clock import line_rate_pps, wire_bytes
+from ..sim.clock import wire_bytes
 from ..core.system import RosebudSystem
 
 #: Tester generation caps (16-RPU pkt_gen design, §6.1)

@@ -11,7 +11,7 @@ from repro.core import (
     RosebudSystem,
 )
 from repro.firmware import ForwarderFirmware
-from repro.packet import build_tcp, build_udp
+from repro.packet import build_tcp
 
 
 def _pkt(sport=1, dport=80):

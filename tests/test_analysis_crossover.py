@@ -11,7 +11,7 @@ from repro.analysis import (
 )
 from repro.core import CONFIG_16_RPU, CONFIG_8_RPU, RosebudConfig, RosebudSystem
 from repro.firmware import FIREWALL_CYCLES, FORWARDER_CYCLES, ForwarderFirmware
-from repro.traffic import IMIX_MIX, ImixSource
+from repro.traffic import ImixSource
 
 
 class TestLineRateKnees:

@@ -2,7 +2,6 @@
 
 import json
 import pickle
-import warnings
 
 import pytest
 

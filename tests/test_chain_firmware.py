@@ -10,7 +10,7 @@ from repro.firmware import (
     ForwarderFirmware,
     PigasusHwReorderFirmware,
 )
-from repro.firmware.chain_fw import ChainStageFirmware, build_chain
+from repro.firmware.chain_fw import build_chain
 from repro.packet import build_tcp, int_to_ip
 
 

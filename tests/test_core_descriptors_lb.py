@@ -149,7 +149,7 @@ class TestHashPolicy:
         cfg = RosebudConfig(n_rpus=8, slots_per_rpu=1)
         lb = LoadBalancer(cfg, HashLB(8))
         first = _packet()
-        target = lb.assign(first)
+        lb.assign(first)
         second = _packet()  # same flow -> same target
         assert lb.assign(second) is None  # defers, does not divert
         assert lb.deferred == 1

@@ -1,6 +1,5 @@
 """Integration tests for the assembled system."""
 
-import pytest
 
 from repro.core import (
     HashLB,

@@ -1,6 +1,5 @@
 """Tests for core-configuration variants and cross-system verdict parity."""
 
-import pytest
 
 from repro.accel.pigasus import generate_ruleset, parse_rules
 from repro.baselines import SnortBaseline

@@ -182,7 +182,7 @@ class TestPigasusSwReorder:
     def test_out_of_order_detected_and_buffered(self, rules):
         fw = PigasusSwReorderFirmware(rules)
         fw.process(_tcp(size=256, seq=1000, sport=8), 0)
-        gap = fw.process(_tcp(size=256, seq=99_000, sport=8), 0)
+        fw.process(_tcp(size=256, seq=99_000, sport=8), 0)
         assert fw.out_of_order == 1
         in_order = fw.process(_tcp(size=256, seq=1000 + 202, sport=8), 0)
         assert in_order.action == ACTION_FORWARD

@@ -1,6 +1,5 @@
 """Tests for MAC frame policing and slot-size enforcement."""
 
-import pytest
 
 from repro.core import RosebudConfig, RosebudSystem
 from repro.core.mac import MAX_FRAME_BYTES, MIN_FRAME_BYTES

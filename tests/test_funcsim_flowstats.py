@@ -3,7 +3,6 @@ state readable from the host (§3.4)."""
 
 import struct
 
-import pytest
 
 from repro.core.funcsim import FunctionalRpu
 from repro.firmware.asm_sources import FLOW_COUNTER_ASM

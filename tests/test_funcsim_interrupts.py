@@ -1,7 +1,6 @@
 """Tests for interrupt-driven firmware and the pkt_gen firmware on the
 functional RPU."""
 
-import pytest
 
 from repro.core.funcsim import FunctionalRpu
 from repro.firmware.asm_sources import FORWARDER_IRQ_ASM, PKT_GEN_ASM

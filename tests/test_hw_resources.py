@@ -3,23 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.hw import (
-    COMPLETE_16,
-    COMPLETE_8,
-    FIREWALL_RPU_CAPACITY,
-    FpgaDevice,
-    LB_RR_16,
-    PIGASUS_ACCEL,
-    PIGASUS_RPU_CAPACITY,
-    PR_LOAD_TIME_MS,
-    PlacementError,
-    RPU_BASE_16,
-    ResourceVector,
-    VU9P_CAPACITY,
-    components_for,
-    firewall_rpu_total,
-    pigasus_rpu_total,
-)
+from repro.hw import COMPLETE_16, COMPLETE_8, FIREWALL_RPU_CAPACITY, FpgaDevice, PIGASUS_ACCEL, PIGASUS_RPU_CAPACITY, PR_LOAD_TIME_MS, PlacementError, RPU_BASE_16, ResourceVector, VU9P_CAPACITY, components_for, firewall_rpu_total, pigasus_rpu_total
 
 
 class TestResourceVector:

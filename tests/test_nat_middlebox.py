@@ -1,6 +1,5 @@
 """Tests for the NAT middlebox and the checksum-update accelerator."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.accel.checksum_accel import (

@@ -1,11 +1,9 @@
 """Tests for NIC-mode operation and simulation determinism."""
 
-import pytest
 
 from repro.core import HostInterface, RosebudConfig, RosebudSystem
 from repro.firmware import ForwarderFirmware, NicFirmware
 from repro.packet import build_tcp
-from repro.traffic import FixedSizeSource, FlowTrafficSource
 
 
 class TestNicMode:

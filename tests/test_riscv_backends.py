@@ -19,7 +19,7 @@ from repro.riscv import (
     get_default_backend,
     set_default_backend,
 )
-from repro.riscv.cpu import CSR_MCAUSE, CSR_MEPC, CycleModel
+from repro.riscv.cpu import CycleModel
 
 SCRATCH = 0x2000  # data region the random programs load/store through
 RAM_SIZE = 0x4000

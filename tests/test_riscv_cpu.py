@@ -1,16 +1,8 @@
 """Tests for the RV32IM instruction-set simulator."""
 
-import pytest
 
 from repro.riscv import MemoryBus, RiscvCpu, assemble
-from repro.riscv.cpu import (
-    CSR_MCAUSE,
-    CSR_MEPC,
-    CSR_MIE,
-    CSR_MSTATUS,
-    CSR_MTVEC,
-    MSTATUS_MIE,
-)
+from repro.riscv.cpu import CSR_MIE
 
 
 def run_program(source, ram_size=64 * 1024, max_instructions=100_000, setup=None):

@@ -6,7 +6,6 @@ decode/execute bug.  This is the ISS's safety net beyond the
 hand-picked cases.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.riscv import MemoryBus, RiscvCpu, assemble

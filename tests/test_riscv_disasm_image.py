@@ -6,8 +6,8 @@ from hypothesis import given, strategies as st
 from repro.core.funcsim import FunctionalRpu
 from repro.firmware import FORWARDER_ASM
 from repro.packet import build_tcp
-from repro.riscv import assemble, decode
-from repro.riscv.disasm import disassemble, disassemble_word, format_instruction, reg_name
+from repro.riscv import assemble
+from repro.riscv.disasm import disassemble, disassemble_word, reg_name
 from repro.riscv.image import (
     FirmwareImage,
     ImageError,

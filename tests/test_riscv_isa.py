@@ -4,15 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.riscv import DecodeError, decode, parse_register, sign_extend
-from repro.riscv.isa import (
-    OP_IMM,
-    encode_b,
-    encode_i,
-    encode_j,
-    encode_r,
-    encode_s,
-    encode_u,
-)
+from repro.riscv.isa import OP_IMM, encode_b, encode_i, encode_j, encode_s, encode_u
 
 
 class TestKnownEncodings:

@@ -6,7 +6,6 @@ to host, dropped by firmware, or tail-dropped at the MAC), and slot
 credits always return.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import HashLB, LeastLoadedLB, RosebudConfig, RosebudSystem, RoundRobinLB
