@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache ci lint examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +25,7 @@ bench-smoke:
 		--jobs 2 --warmup 200 --packets 500
 	PYTHONPATH=src $(PYTHON) benchmarks/kernel_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
+	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -q
 
 # Lint + bytecode-compile; ruff is optional locally (CI always has it).
@@ -44,6 +45,10 @@ ci: lint
 # ISS backend probe on its own (interp vs closure-translated fast path)
 bench-cpu:
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
+
+# Replay-cache probe on its own (cache off vs on, parity + speedup)
+bench-cache:
+	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

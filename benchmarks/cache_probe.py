@@ -1,0 +1,132 @@
+"""Standalone replay-cache probe for ``make bench-smoke``.
+
+Drives uniform 512B traffic through the §7.2 firewall on an
+8-RPU :class:`FunctionalCluster` twice — replay cache off, then on —
+timing the warm steady state of each, and reports the per-packet cost,
+the speedup, and the cache hit rate.  Before scoring it proves the
+cache changed *nothing observable*: both runs must emit identical
+send streams (tag, bytes, egress port, and send-cycle timestamp),
+identical accelerator lookup counts, and identical packet-memory
+images.
+
+The warm-up phase (excluded from timing on both sides) is where the
+cache pays its recording tax; steady state is what a long sweep
+experiences, which is what the floor guards.  Timing noise on a shared
+host is one-sided, so each side is measured ``REPS`` times interleaved
+and the best rep is scored.
+
+Floors live in ``benchmarks/conftest.py`` (``REPRO_CI=1`` relaxes the
+speedup floor; the hit rate is deterministic and stays tight).
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import FLOOR_REPLAY_HIT_RATE, FLOOR_REPLAY_SPEEDUP  # noqa: E402
+
+from repro.accel import (  # noqa: E402
+    IpBlacklistMatcher,
+    generate_blacklist,
+    parse_blacklist,
+)
+from repro.core.funccluster import FunctionalCluster  # noqa: E402
+from repro.firmware import FIREWALL_ASM  # noqa: E402
+from repro.packet import build_tcp  # noqa: E402
+
+N_RPUS = 8
+PACKET_SIZE = 512
+WARM_PACKETS = 512
+MEASURE_PACKETS = 4000
+REPS = 3
+RESULTS_PATH = "benchmarks/results/replay_cache_speedup.txt"
+
+BLACKLIST = parse_blacklist(generate_blacklist(1050))
+FRAME = build_tcp("10.0.0.1", "2.2.2.2", 1000, 80, pad_to=PACKET_SIZE).data
+
+
+def build_cluster(cached: bool) -> FunctionalCluster:
+    return FunctionalCluster(
+        N_RPUS,
+        FIREWALL_ASM,
+        accelerator_factory=lambda: IpBlacklistMatcher(BLACKLIST),
+        replay_cache=cached,
+    )
+
+
+def drive(cluster: FunctionalCluster, n_packets: int) -> None:
+    done = 0
+    burst = N_RPUS * cluster.config.slots_per_rpu
+    while done < n_packets:
+        batch = min(n_packets - done, burst)
+        for _ in range(batch):
+            cluster.push_packet(FRAME, port=0, class_key=FRAME)
+        cluster.run_until_all_sent()
+        done += batch
+
+
+def measure(cached: bool):
+    """One rep: (seconds for the measured window, observables)."""
+    cluster = build_cluster(cached)
+    drive(cluster, WARM_PACKETS)
+    t0 = time.perf_counter()
+    drive(cluster, MEASURE_PACKETS)
+    wall = time.perf_counter() - t0
+    sent = [
+        (s.tag, s.data, s.port, s.cycle) for rpu in cluster.rpus for s in rpu.sent
+    ]
+    lookups = sum(rpu.accelerator.lookups for rpu in cluster.rpus)
+    pmem = [rpu.dump_memory("pmem") for rpu in cluster.rpus]
+    hit_rate = cluster.replay_stats.hit_rate if cached else 0.0
+    return wall, (sent, lookups, pmem), hit_rate
+
+
+def main() -> int:
+    best = {False: float("inf"), True: float("inf")}
+    observed = {}
+    hit_rate = 0.0
+    for _rep in range(REPS):
+        for cached in (False, True):
+            wall, obs, rate = measure(cached)
+            best[cached] = min(best[cached], wall)
+            observed[cached] = obs
+            if cached:
+                hit_rate = rate
+
+    if observed[True] != observed[False]:
+        print("FAIL: cache changed observable behaviour "
+              "(send stream, accelerator lookups, or packet memory)")
+        return 1
+
+    speedup = best[False] / best[True]
+    us_off = best[False] / MEASURE_PACKETS * 1e6
+    us_on = best[True] / MEASURE_PACKETS * 1e6
+    lines = [
+        f"uniform firewall, {N_RPUS} RPUs, {MEASURE_PACKETS} packets of "
+        f"{PACKET_SIZE}B (warm steady state, best of {REPS} reps)",
+        f"  cache off : {us_off:8.2f} us/packet",
+        f"  cache on  : {us_on:8.2f} us/packet",
+        f"  speedup   : {speedup:.2f}x",
+        f"  hit rate  : {hit_rate:.3f}",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as fh:
+        fh.write(report + "\n")
+
+    if speedup < FLOOR_REPLAY_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x under floor "
+              f"{FLOOR_REPLAY_SPEEDUP}x")
+        return 1
+    if hit_rate < FLOOR_REPLAY_HIT_RATE:
+        print(f"FAIL: hit rate {hit_rate:.3f} under floor "
+              f"{FLOOR_REPLAY_HIT_RATE}")
+        return 1
+    print("cache probe OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@ REPRO_CI = os.environ.get("REPRO_CI", "") not in ("", "0")
 FLOOR_TRANSLATED_IPS = 100_000 if REPRO_CI else 500_000
 FLOOR_SPEEDUP = 1.5 if REPRO_CI else 3.0
 FLOOR_EVENTS_PER_SEC = 10_000 if REPRO_CI else 50_000
+#: cache_probe.py: warm replay-cache speedup on the uniform 512B
+#: firewall cluster, and the hit rate the uniform workload must reach.
+#: The hit rate is deterministic (no timing in the key path) so it is
+#: not relaxed on CI.
+FLOOR_REPLAY_SPEEDUP = 1.5 if REPRO_CI else 3.0
+FLOOR_REPLAY_HIT_RATE = 0.9
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +45,8 @@ def perf_floors():
         "translated_ips": FLOOR_TRANSLATED_IPS,
         "speedup": FLOOR_SPEEDUP,
         "events_per_sec": FLOOR_EVENTS_PER_SEC,
+        "replay_speedup": FLOOR_REPLAY_SPEEDUP,
+        "replay_hit_rate": FLOOR_REPLAY_HIT_RATE,
     }
 
 

@@ -102,6 +102,22 @@ class Accelerator:
             return value ^ 0x1, False
         return value, True
 
+    # -- replay cache (repro.replay) ---------------------------------------------
+
+    def replay_token(self):
+        """Digest of every piece of mutable state the accelerator's MMIO
+        *reads* depend on, or ``None`` when no such digest exists.
+
+        ``None`` (the default) makes any packet bracket that touches
+        this accelerator unreplayable — the safe answer for stateful
+        accelerators.  Subclasses whose responses are a pure function of
+        a small state slice return that slice; the replay cache compares
+        tokens before applying a record and re-issues the recorded MMIO
+        operations on a hit, so counters (and faults armed mid-run)
+        stay exact.
+        """
+        return None
+
     # -- lifecycle ---------------------------------------------------------------
 
     def reset(self) -> None:

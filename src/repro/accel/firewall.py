@@ -135,6 +135,12 @@ class IpBlacklistMatcher(Accelerator):
     def lookup_cycles(self) -> int:
         return LOOKUP_CYCLES
 
+    def replay_token(self):
+        # MMIO reads expose only the match flag; the prefix tables are
+        # immutable after construction, so (fault arm, flag) is the
+        # whole mutable slice a bracket's reads can depend on
+        return (self._fault_active, self._match_flag)
+
     def reset(self) -> None:
         self._match_flag = 0
         self.lookups = 0

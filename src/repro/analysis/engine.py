@@ -59,6 +59,12 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     system = spec.build_system()
     sources = spec.build_sources(system)
+    replay_cache = None
+    replay_base: Dict[str, int] = {}
+    if spec.replay_cache:
+        replay_cache = _replay_cache_for(spec)
+        replay_base = replay_cache.stats.snapshot()
+        system.attach_replay_cache(replay_cache)
     controller = None
     if spec.faults:
         # chaos path: schedule the campaign before traffic starts so
@@ -83,6 +89,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         result = ExperimentResult(spec_key=key, throughput=throughput)
     result.counters = system.counters.snapshot()
     result.firmware_totals = _firmware_totals(system)
+    if replay_cache is not None:
+        result.replay = replay_cache.stats.delta(replay_base)
     if controller is not None:
         from ..faults import resilience_report
 
@@ -90,6 +98,43 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         controller.sampler.stop()
         result.resilience = resilience_report(controller)
     return result
+
+
+#: Warm behavioural replay caches, keyed by firmware construction
+#: fingerprint.  Kept per process: inline sweeps (``jobs=1`` or
+#: unpicklable specs) reuse records across every point that runs the
+#: same firmware build; spawn-pool workers start cold (fresh module
+#: state per process) and simply warm their own copy.
+_WARM_REPLAY_CACHES: Dict[str, Any] = {}
+_WARM_REPLAY_LIMIT = 8
+
+
+def _replay_cache_for(spec: ExperimentSpec) -> Any:
+    """The warm cache for this spec's firmware build (or a fresh one).
+
+    The behavioural record key does not cover firmware *construction*
+    (a firewall built from a different blacklist carries the same
+    replay token), so warm reuse is only sound between specs that build
+    the firmware identically — hence the fingerprint.  Chaos points get
+    a private cache: their injectors flush on arm/disarm and sharing
+    would just cold-start the neighbours.
+    """
+    from ..replay import FirmwareReplayCache
+
+    if spec.faults:
+        return FirmwareReplayCache()
+    d = spec.to_dict()
+    fingerprint = json.dumps(
+        {k: d[k] for k in ("firmware", "firmware_args", "firmware_kwargs")},
+        sort_keys=True,
+    )
+    cache = _WARM_REPLAY_CACHES.get(fingerprint)
+    if cache is None:
+        if len(_WARM_REPLAY_CACHES) >= _WARM_REPLAY_LIMIT:
+            _WARM_REPLAY_CACHES.clear()
+        cache = FirmwareReplayCache()
+        _WARM_REPLAY_CACHES[fingerprint] = cache
+    return cache
 
 
 def _firmware_totals(system: Any) -> Dict[str, int]:

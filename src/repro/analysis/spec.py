@@ -39,7 +39,8 @@ from ..faults.spec import FaultSpec
 #: cache entries from older code never satisfy a new run.
 #: v2: cpu_backend field (closure-translated ISS fast path).
 #: v3: faults field (repro.faults chaos campaigns + resilience report).
-SPEC_VERSION = 3
+#: v4: replay_cache field (packet-class firmware memoization).
+SPEC_VERSION = 4
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -234,6 +235,11 @@ class ExperimentSpec:
     source_factory: Optional[Callable[[RosebudSystem, int, float], Any]] = None
     cpu_backend: Optional[str] = None
     faults: Tuple[FaultSpec, ...] = ()
+    #: memoize per-packet firmware execution by packet class (the
+    #: replay cache, repro.replay).  Statistics are guaranteed
+    #: byte-identical with the cache on or off; only wall-clock and the
+    #: ``replay`` counter block of the result change.
+    replay_cache: bool = False
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -349,6 +355,7 @@ class ExperimentSpec:
             else _qualname(self.source_factory),
             "cpu_backend": self.cpu_backend,
             "faults": [f.to_dict() for f in self.faults],
+            "replay_cache": self.replay_cache,
         }
 
     def cache_key(self) -> str:
@@ -383,6 +390,11 @@ class ExperimentResult:
     counters: Dict[str, int] = field(default_factory=dict)
     firmware_totals: Dict[str, int] = field(default_factory=dict)
     resilience: Optional[Dict[str, Any]] = None  # resilience_report()
+    #: replay-cache accounting for this point (hits/misses/...), or
+    #: None when the spec ran without a cache.  Deliberately excluded
+    #: from statistical comparisons: it describes simulator work saved,
+    #: not network behaviour.
+    replay: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -396,6 +408,8 @@ class ExperimentResult:
             out["latency"] = dict(self.latency)
         if self.resilience is not None:
             out["resilience"] = dict(self.resilience)
+        if self.replay is not None:
+            out["replay"] = dict(self.replay)
         return out
 
     @classmethod
@@ -412,6 +426,7 @@ class ExperimentResult:
             counters=data.get("counters", {}),
             firmware_totals=data.get("firmware_totals", {}),
             resilience=data.get("resilience"),
+            replay=data.get("replay"),
         )
 
 

@@ -74,6 +74,32 @@ def _backend(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "cpu_backend", None)
 
 
+def _replay(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "replay_cache", False))
+
+
+def _replay_rate(replay: Dict[str, int]) -> float:
+    lookups = sum(
+        replay.get(k, 0) for k in ("hits", "misses", "fallbacks", "bypasses")
+    )
+    return replay.get("hits", 0) / lookups if lookups else 0.0
+
+
+def _print_replay(outcome) -> None:
+    """One-line replay-cache accounting after a point's main table."""
+    replay = getattr(outcome, "replay", None)
+    if replay is None:
+        return
+    print(
+        f"replay cache: hits={replay.get('hits', 0)} "
+        f"misses={replay.get('misses', 0)} "
+        f"fallbacks={replay.get('fallbacks', 0)} "
+        f"bypasses={replay.get('bypasses', 0)} "
+        f"invalidations={replay.get('invalidations', 0)} "
+        f"hit rate={100 * _replay_rate(replay):.1f}%"
+    )
+
+
 def _window(args: argparse.Namespace) -> MeasurementWindow:
     return MeasurementWindow(
         warmup_packets=args.warmup, measure_packets=args.packets
@@ -91,14 +117,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
         window=_window(args),
         lb=_lb(args),
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
     )
-    result = run_experiment(spec).throughput
+    outcome = run_experiment(spec)
+    result = outcome.throughput
     print(format_table(
         ["RPUs", "size(B)", "offered Gbps", "achieved Gbps", "MPPS", "% of line"],
         [[args.rpus, args.size, args.gbps, result.achieved_gbps,
           result.achieved_mpps, 100 * result.fraction_of_line]],
         title="basic_fw forwarding profile",
     ))
+    _print_replay(outcome)
     return 0
 
 
@@ -118,6 +147,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
             lb=_lb(args),
             measure="latency",
             cpu_backend=_backend(args),
+            replay_cache=_replay(args),
         )
         summary = run_experiment(spec).latency
         rows.append([size, summary["mean"], estimated_latency_us(size)])
@@ -143,6 +173,7 @@ def cmd_firewall(args: argparse.Namespace) -> int:
         lb=_lb(args),
         include_absorbed=True,
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -152,6 +183,7 @@ def cmd_firewall(args: argparse.Namespace) -> int:
           outcome.counters.get("dropped_by_firmware", 0)]],
         title=f"firewall ({args.rules} blacklist entries, {args.rpus} RPUs)",
     ))
+    _print_replay(outcome)
     return 0
 
 
@@ -180,6 +212,7 @@ def cmd_ids(args: argparse.Namespace) -> int:
         window=_window(args),
         lb=lb,
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -189,6 +222,7 @@ def cmd_ids(args: argparse.Namespace) -> int:
           result.cycles_per_packet, outcome.counters.get("to_host", 0)]],
         title=f"pigasus IPS ({args.rules} rules, {args.rpus} RPUs)",
     ))
+    _print_replay(outcome)
     return 0
 
 
@@ -208,6 +242,7 @@ def _sweep_spec(args: argparse.Namespace, rpus: int, size: int, gbps: float) -> 
         window=_window(args),
         lb=_lb(args, default="hash" if args.firmware == "nat" else None),
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
         name=f"{args.firmware} rpus={rpus} size={size} gbps={gbps:g}",
     )
 
@@ -248,7 +283,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 t.achieved_gbps, t.achieved_mpps, 100 * t.fraction_of_line,
                 point.status,
             ])
-            csv_rows.append({
+            row: Dict[str, Any] = {
                 "rpus": spec.config.n_rpus,
                 "size": t.packet_size,
                 "offered_gbps": t.offered_gbps,
@@ -256,7 +291,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "achieved_mpps": t.achieved_mpps,
                 "pct_of_line": 100 * t.fraction_of_line,
                 "status": point.status,
-            })
+            }
+            replay = point.result.replay
+            if replay is not None:
+                row["replay_hits"] = replay.get("hits", 0)
+                row["replay_misses"] = replay.get("misses", 0)
+                row["replay_hit_rate"] = _replay_rate(replay)
+            csv_rows.append(row)
         else:
             rows.append([
                 spec.config.n_rpus, spec.traffic.packet_size,
@@ -323,6 +364,7 @@ def cmd_nat(args: argparse.Namespace) -> int:
         window=_window(args),
         lb=_lb(args, default="hash"),
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -332,6 +374,7 @@ def cmd_nat(args: argparse.Namespace) -> int:
           outcome.firmware_totals.get("translated", 0)]],
         title=f"NAT middlebox ({args.rpus} RPUs, {spec.lb or 'hash'} LB)",
     ))
+    _print_replay(outcome)
     return 0
 
 
@@ -414,6 +457,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         window=_window(args),
         lb=_lb(args),
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
         faults=faults,
     )
     outcome = run_experiment(spec)
@@ -443,6 +487,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"csum drops: {mac.get('rx_csum_drops', 0)}; "
           f"link drops: {mac.get('rx_link_drops', 0)}; "
           f"poisoned accel results: {resilience.get('accel_results_poisoned', 0)}")
+    _print_replay(outcome)
     if args.json:
         import json as _json
 
@@ -469,6 +514,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         window=_window(args),
         setup=functools.partial(_loopback_setup, args.rpus),
         cpu_backend=_backend(args),
+        replay_cache=_replay(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -478,6 +524,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
           outcome.counters.get("loopbacked", 0)]],
         title="two-step forwarding over the loopback port",
     ))
+    _print_replay(outcome)
     return 0
 
 
@@ -582,6 +629,9 @@ def _common_parser() -> argparse.ArgumentParser:
                         help="warmup packets before the window")
     common.add_argument("--packets", type=int, default=3000,
                         help="packets in the measurement window")
+    common.add_argument("--replay-cache", action="store_true",
+                        help="memoize per-packet firmware execution by packet "
+                             "class (identical statistics, less wall clock)")
     common.add_argument("--cpu-backend", choices=["interp", "translated"],
                         default=None,
                         help="ISS execution backend (default: translated)")

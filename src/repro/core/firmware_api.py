@@ -73,3 +73,23 @@ class FirmwareModel:
     def clone(self) -> "FirmwareModel":
         """A fresh instance for another RPU (firmware state is per-RPU)."""
         return type(self)()
+
+    # -- replay cache (repro.replay) --------------------------------------
+
+    def replay_token(self) -> object:
+        """Digest of the mutable state :meth:`process` decisions depend
+        on, or ``None`` to opt out of replay caching.
+
+        Returning a token is a promise: for a fixed ``(packet class,
+        ingress port, rpu index, token)``, :meth:`process` returns an
+        equivalent :class:`FirmwareResult` and mutates nothing beyond
+        public integer counters on :meth:`replay_owners`.  Firmware with
+        per-flow state (NAT, flow tables) must keep the default
+        ``None`` — the cache then bypasses it entirely.
+        """
+        return None
+
+    def replay_owners(self) -> list:
+        """Objects whose public integer counters :meth:`process` may
+        bump (diffed on a cache miss, re-applied on a hit)."""
+        return [self]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..accel.base import Accelerator
+from ..replay import ReplayCache, ReplayStats
 from .config import RosebudConfig
 from .descriptors import SlotTable
 from .funcsim import FunctionalRpu, SentPacket
@@ -24,7 +25,14 @@ class ClusterError(RuntimeError):
 
 
 class FunctionalCluster:
-    """N functional RPUs + a slot-aware round-robin/hash distribution."""
+    """N functional RPUs + a slot-aware round-robin/hash distribution.
+
+    ``replay_cache=True`` attaches a per-core
+    :class:`~repro.replay.ReplayCache` (one shared
+    :class:`~repro.replay.ReplayStats`, available as
+    ``cluster.replay_stats``) and drains packets through the
+    record/replay fast path in :meth:`run_until_all_sent`.
+    """
 
     def __init__(
         self,
@@ -34,11 +42,13 @@ class FunctionalCluster:
         config: Optional[RosebudConfig] = None,
         policy: str = "round_robin",
         cpu_backend: Optional[str] = None,
+        replay_cache: bool = False,
     ) -> None:
         if policy not in ("round_robin", "hash"):
             raise ValueError(f"unknown policy {policy!r}")
         self.config = config or RosebudConfig(n_rpus=n_rpus)
         self.policy = policy
+        self.replay_stats: Optional[ReplayStats] = ReplayStats() if replay_cache else None
         self.rpus: List[FunctionalRpu] = []
         for index in range(n_rpus):
             accel = accelerator_factory() if accelerator_factory else None
@@ -49,6 +59,8 @@ class FunctionalCluster:
                 cpu_backend=cpu_backend,
             )
             rpu.cpu.hartid = index
+            if replay_cache:
+                rpu.attach_replay_cache(ReplayCache(stats=self.replay_stats))
             self.rpus.append(rpu)
         self.slots = SlotTable(n_rpus, self.config.slots_per_rpu)
         self._rr_next = 0
@@ -72,11 +84,11 @@ class FunctionalCluster:
                 return candidate
         raise ClusterError("all RPUs out of slots")
 
-    def push_packet(self, data: bytes, port: int = 0) -> int:
+    def push_packet(self, data: bytes, port: int = 0, class_key=None) -> int:
         """Distribute one packet; returns the chosen RPU index."""
         rpu_index = self._choose(data)
         self.slots.allocate(rpu_index)
-        self.rpus[rpu_index].push_packet(data, port)
+        self.rpus[rpu_index].push_packet(data, port, class_key=class_key)
         self._pending[rpu_index] += 1
         self.pushed += 1
         return rpu_index
@@ -88,6 +100,9 @@ class FunctionalCluster:
 
     def run_until_all_sent(self, max_instructions_per_rpu: int = 2_000_000) -> None:
         """Interleave the cores until every pushed packet was sent."""
+        if self.replay_stats is not None:
+            self._drain_with_replay(max_instructions_per_rpu)
+            return
         target = self.pushed
         budget = {i: max_instructions_per_rpu for i in range(len(self.rpus))}
         seen = {i: 0 for i in range(len(self.rpus))}
@@ -119,6 +134,48 @@ class FunctionalCluster:
                 # on descriptors already queued)
                 for rpu in self.rpus:
                     rpu.cpu.run(max_instructions=50)
+
+    def _drain_with_replay(self, max_instructions_per_rpu: int) -> None:
+        """Packet-granular drain through :meth:`FunctionalRpu.step_packet`.
+
+        Equivalent to the interleaved burst loop — brackets on distinct
+        cores are independent — but each bracket either replays from
+        its record or records while it executes.
+        """
+        outstanding = self.pushed - self.total_sent()
+        budget = [max_instructions_per_rpu] * len(self.rpus)
+        free = self.slots._free
+        busy = self.slots._busy
+        while outstanding > 0:
+            progressed = False
+            for index, rpu in enumerate(self.rpus):
+                rx = rpu._rx
+                if not rx:
+                    continue
+                cpu = rpu.cpu
+                step = rpu.step_packet
+                rpu_free = free[index]
+                rpu_busy = busy[index]
+                left = budget[index]
+                while rx:
+                    if left <= 0:
+                        raise ClusterError(f"RPU {index} exceeded instruction budget")
+                    before = cpu.instret
+                    step(max_instructions=left)
+                    left -= max(1, cpu.instret - before)
+                    # each step retires exactly one descriptor: return
+                    # its slot credit (tag bookkeeping is per-RPU
+                    # inside the funcsim, any busy credit will do)
+                    if rpu_busy:
+                        rpu_free.append(rpu_busy.pop())
+                    outstanding -= 1
+                    progressed = True
+                budget[index] = left
+            if not progressed and outstanding > 0:
+                raise ClusterError(
+                    "cluster starved: descriptors outstanding but no RPU "
+                    "has a pending RX descriptor"
+                )
 
     # -- results ----------------------------------------------------------------------
 

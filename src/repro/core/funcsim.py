@@ -21,6 +21,13 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..accel.base import Accelerator
+from ..replay.record import (
+    NO_ACCEL_TOKEN,
+    OP_ACC_R,
+    OP_ACC_W,
+    ReplayRecord,
+    TraceRecorder,
+)
 from ..riscv.assembler import Program, assemble
 from ..riscv.bus import MemoryBus
 from ..riscv.cpu import RiscvCpu
@@ -71,20 +78,28 @@ class FunctionalRpu:
         self.accmem = self.bus.add_ram(ACCMEM_BASE, self.config.accel_mem_bytes, "accmem")
         self.bus.add_mmio(IO_BASE, 0x1000, self._io_read, self._io_write, "interconnect")
         self.accelerator = accelerator
+        self._accel_read = None
+        self._accel_write = None
         if accelerator is not None:
             read, write = accelerator.mmio_handlers()
+            if hasattr(accelerator, "set_payload"):
 
-            def dma_aware_write(offset: int, value: int, nbytes: int) -> None:
-                # a CTRL start kicks the DMA stream: feed the payload
-                # from packet memory into the accelerator first
-                if offset == 0x00 and value == 1 and hasattr(accelerator, "set_payload"):
-                    addr = getattr(accelerator, "_dma_addr", 0)
-                    length = getattr(accelerator, "_dma_len", 0)
-                    if addr and length > 0:
-                        accelerator.set_payload(self.bus.dump(addr, length))
-                write(offset, value, nbytes)
+                def dma_aware_write(offset: int, value: int, nbytes: int) -> None:
+                    # a CTRL start kicks the DMA stream: feed the payload
+                    # from packet memory into the accelerator first
+                    if offset == 0x00 and value == 1:
+                        addr = getattr(accelerator, "_dma_addr", 0)
+                        length = getattr(accelerator, "_dma_len", 0)
+                        if addr and length > 0:
+                            accelerator.set_payload(self.bus.dump(addr, length))
+                    write(offset, value, nbytes)
 
-            self.bus.add_mmio(IO_EXT_BASE, 0x1000, read, dma_aware_write, "accel")
+                accel_write = dma_aware_write
+            else:
+                accel_write = write
+            self.bus.add_mmio(IO_EXT_BASE, 0x1000, read, accel_write, "accel")
+            self._accel_read = read
+            self._accel_write = accel_write
 
         self.cpu = RiscvCpu(self.bus, reset_pc=IMEM_BASE, backend=cpu_backend)
         self.program = self.load_firmware(firmware_asm)
@@ -96,6 +111,28 @@ class FunctionalRpu:
         self._send_len = 0
         self.sent: List[SentPacket] = []
         self.debug_out = 0
+        #: attach a :class:`repro.replay.ReplayCache` to memoize packet
+        #: brackets processed through :meth:`step_packet`
+        self.replay_cache = None
+        self._class_by_tag: Dict[int, object] = {}
+        #: last record applied with no execution since (chain anchor)
+        self._last_applied = None
+        #: deferred packet DMA: frame bytes pushed but not yet written
+        #: to pmem/dmem (pure replay hits never read the slot, so the
+        #: copies are postponed until something can observe them)
+        self._pending_dma: Dict[int, bytes] = {}
+        # per-tag DMA landing offsets, precomputed for the push hot loop
+        slot_bytes = self.config.slot_bytes
+        hdr_bytes = self.config.header_slot_bytes
+        hdr_base = self.config.dmem_bytes // 2
+        self._slot_offsets = [
+            (tag - 1) * slot_bytes + PKT_OFFSET
+            for tag in range(1, self.config.slots_per_rpu + 1)
+        ]
+        self._hdr_offsets = [
+            hdr_base + (tag - 1) * hdr_bytes
+            for tag in range(1, self.config.slots_per_rpu + 1)
+        ]
 
     # -- firmware and memory loading ------------------------------------------------
 
@@ -115,13 +152,21 @@ class FunctionalRpu:
 
     def dump_memory(self, which: str = "pmem") -> bytes:
         """Host-side debugging: dump an entire RPU memory (§3.4)."""
+        self._flush_dma()
         region = {"imem": self.imem, "dmem": self.dmem, "pmem": self.pmem, "accmem": self.accmem}[which]
         return region.dump_bytes()
 
     # -- packet injection -------------------------------------------------------------
 
-    def push_packet(self, data: bytes, port: int = 0) -> int:
-        """DMA a packet into a free slot and post its descriptor."""
+    def push_packet(self, data: bytes, port: int = 0, class_key=None) -> int:
+        """DMA a packet into a free slot and post its descriptor.
+
+        ``class_key`` is the replay-cache class signature; it promises
+        the frame bytes are identical to every other packet pushed with
+        the same key.  Defaults to the frame bytes themselves (always
+        sound; bytes objects cache their hash, so reused templates cost
+        one hash total).
+        """
         slot_bytes = self.config.slot_bytes
         if len(data) + PKT_OFFSET > slot_bytes:
             raise ValueError("packet exceeds slot size")
@@ -132,18 +177,51 @@ class FunctionalRpu:
             )
         tag = self._next_tag
         self._next_tag = self._next_tag % self.config.slots_per_rpu + 1
-        addr = PMEM_BASE + (tag - 1) * slot_bytes + PKT_OFFSET
-        self.bus.load_blob(addr, data)
-        # the DMA engine also copies the header into local memory for
-        # low-latency parsing; we keep the header copy in dmem's top half
-        header = data[: self.config.header_slot_bytes]
-        hdr_addr = (
-            self.config.dmem_bytes // 2 + (tag - 1) * self.config.header_slot_bytes
-        )
-        if hdr_addr + len(header) <= self.config.dmem_bytes:
-            self.dmem.load_bytes(hdr_addr, header)
-        self._rx.append((tag, len(data), port, addr))
+        offset = self._slot_offsets[tag - 1]
+        if self.replay_cache is not None:
+            # defer the DMA: the bytes only land when something can
+            # observe them (real execution, a guard read, a dump)
+            data = bytes(data)
+            old = self._pending_dma.get(tag)
+            if old is not None and len(old) > len(data):
+                # the displaced frame was never materialized, but its
+                # tail outlives the new (shorter) frame in the slot —
+                # write exactly that residue so memory stays byte-equal
+                # to an uncached run
+                self.pmem.load_bytes(offset + len(data), old[len(data):])
+                old_hdr = old[: self.config.header_slot_bytes]
+                if len(old_hdr) > len(data):
+                    hdr_offset = self._hdr_offsets[tag - 1]
+                    if hdr_offset + len(old_hdr) <= self.config.dmem_bytes:
+                        self.dmem.load_bytes(
+                            hdr_offset + len(data), old_hdr[len(data):]
+                        )
+            self._pending_dma[tag] = data
+            self._class_by_tag[tag] = class_key if class_key is not None else data
+        else:
+            self.pmem.load_bytes(offset, data)
+            # the DMA engine also copies the header into local memory for
+            # low-latency parsing; we keep the header copy in dmem's top half
+            header = data[: self.config.header_slot_bytes]
+            hdr_offset = self._hdr_offsets[tag - 1]
+            if hdr_offset + len(header) <= self.config.dmem_bytes:
+                self.dmem.load_bytes(hdr_offset, header)
+        self._rx.append((tag, len(data), port, PMEM_BASE + offset))
         return tag
+
+    def _flush_dma(self) -> None:
+        """Materialize all deferred packet DMA into pmem/dmem."""
+        if not self._pending_dma:
+            return
+        hdr_bytes = self.config.header_slot_bytes
+        dmem_bytes = self.config.dmem_bytes
+        for tag, data in self._pending_dma.items():
+            self.pmem.load_bytes(self._slot_offsets[tag - 1], data)
+            header = data[:hdr_bytes]
+            hdr_offset = self._hdr_offsets[tag - 1]
+            if hdr_offset + len(header) <= dmem_bytes:
+                self.dmem.load_bytes(hdr_offset, header)
+        self._pending_dma.clear()
 
     # -- interconnect MMIO ---------------------------------------------------------------
 
@@ -196,6 +274,8 @@ class FunctionalRpu:
 
     def run_until_sent(self, count: int, max_instructions: int = 2_000_000) -> None:
         """Run the core until ``count`` descriptors have been sent."""
+        self._last_applied = None  # real execution breaks the replay chain
+        self._flush_dma()
         self.cpu.run(
             max_instructions=max_instructions,
             until=lambda cpu: len(self.sent) >= count,
@@ -205,6 +285,170 @@ class FunctionalRpu:
                 f"firmware sent only {len(self.sent)}/{count} packets "
                 f"within {max_instructions} instructions"
             )
+
+    # -- replay cache ------------------------------------------------------------------------
+
+    def attach_replay_cache(self, cache) -> None:
+        """Enable packet-bracket memoization for :meth:`step_packet`.
+
+        The cache is bound to this core (records pin its code epoch and
+        slot addresses); share hit/miss accounting across cores by
+        giving each core's cache the same :class:`~repro.replay.ReplayStats`.
+        """
+        self.replay_cache = cache
+
+    def step_packet(self, max_instructions: int = 2_000_000) -> str:
+        """Process the head descriptor to completion (one more send).
+
+        With a replay cache attached this is the fast path: a validated
+        record applies the bracket without entering the CPU; otherwise
+        the bracket really executes (and is recorded for next time).
+        Returns ``"hit"``, ``"miss"``, ``"fallback"``, ``"bypass"``, or
+        ``"uncached"`` — all of them leave identical architectural
+        state, memory, and send timestamps.
+        """
+        if not self._rx:
+            raise RuntimeError("no descriptor pending")
+        target = len(self.sent) + 1
+        cache = self.replay_cache
+        if cache is None:
+            self.run_until_sent(target, max_instructions)
+            return "uncached"
+        head = self._rx[0]
+        tag = head[0]
+        class_key = self._class_by_tag.pop(tag, None)
+        stats = cache.stats
+        if class_key is None:
+            stats.bypasses += 1
+            self.run_until_sent(target, max_instructions)
+            return "bypass"
+        key = (class_key, head[2], tag)
+        candidates = cache.lookup(key, self.cpu.code_epoch)
+        if self._pending_dma and any(not r.pure for r in candidates):
+            # impure candidates read memory (guards) or write it on
+            # apply: deferred frames must be in place first
+            self._flush_dma()
+        prev = self._last_applied
+        edges = cache._edges
+        for record in candidates:
+            if prev is not None and (id(prev), id(record)) in edges:
+                ok = record.validate_chained(self)
+            else:
+                ok = record.validate(self)
+                if ok and prev is not None:
+                    edges.add((id(prev), id(record)))
+            if ok:
+                record.apply(self)
+                self._last_applied = record
+                stats.hits += 1
+                return "hit"
+        if candidates:
+            stats.fallbacks += 1
+            status = "fallback"
+        else:
+            stats.misses += 1
+            status = "miss"
+        if len(candidates) >= cache.max_variants:
+            # key saturated with variants that keep missing their
+            # guards (per-flow state): stop paying the recording tax
+            # and run on the fast translated backend instead
+            self.run_until_sent(target, max_instructions)
+            return status
+        record = self._record_bracket(target, max_instructions)
+        if record is not None:
+            if cache.store(key, record):
+                # the CPU sits exactly at this record's end state, so it
+                # anchors chain edges for whatever bracket comes next
+                # (only retained records may anchor: edge ids must stay
+                # unambiguous, i.e. alive, until the next flush)
+                self._last_applied = record
+        else:
+            stats.bypasses += 1
+        return status
+
+    def _record_bracket(self, target: int, max_instructions: int):
+        """Really execute the head bracket while capturing a replay record.
+
+        Returns ``None`` when the bracket proved unreplayable (unstable
+        reads, accelerator without a token, self-modifying code, ...).
+        """
+        cpu = self.cpu
+        self._flush_dma()
+        tag, length, port, addr = self._rx[0]
+        descriptor = self._rx[0]
+        # reads of the packet slot and its header copy are covered by
+        # the class signature (byte-identical frames): no guard needed
+        covered = [(addr, addr + length)]
+        hdr_len = min(length, self.config.header_slot_bytes)
+        hdr_addr = (
+            DMEM_BASE
+            + self.config.dmem_bytes // 2
+            + (tag - 1) * self.config.header_slot_bytes
+        )
+        if hdr_addr + hdr_len <= DMEM_BASE + self.config.dmem_bytes:
+            covered.append((hdr_addr, hdr_addr + hdr_len))
+        accel = self.accelerator
+        start_token = accel.replay_token() if accel is not None else None
+        start_pc = cpu.pc
+        start_regs = list(cpu.regs)
+        start_csrs = dict(cpu.csrs)
+        start_wfi = cpu.waiting_for_interrupt
+        start_send = (self._send_tag, self._send_len)
+        start_cycles = cpu.cycles
+        start_instret = cpu.instret
+        start_epoch = cpu.code_epoch
+        start_sent = len(self.sent)
+        recorder = TraceRecorder(
+            cpu,
+            (IO_BASE, IO_BASE + 0x1000),
+            (IO_EXT_BASE, IO_EXT_BASE + 0x1000) if accel is not None else None,
+            covered,
+        )
+        sent = self.sent
+        cpu.record_run(
+            recorder, max_instructions, until=lambda c: len(sent) >= target
+        )
+        if len(sent) < target:
+            raise RuntimeError(
+                f"firmware sent only {len(sent)}/{target} packets "
+                f"within {max_instructions} instructions"
+            )
+        if cpu.halted:
+            recorder.mark_unreplayable("core halted inside the bracket")
+        if cpu.code_epoch != start_epoch:
+            recorder.mark_unreplayable("self-modifying code inside the bracket")
+        accel_token = NO_ACCEL_TOKEN
+        if any(op[0] in (OP_ACC_R, OP_ACC_W) for op in recorder.ops):
+            if start_token is None:
+                recorder.mark_unreplayable("accelerator has no replay token")
+            accel_token = start_token
+        if recorder.unreplayable:
+            return None
+        end_csrs = None if cpu.csrs == start_csrs else dict(cpu.csrs)
+        return ReplayRecord(
+            descriptor=descriptor,
+            start_pc=start_pc,
+            start_regs=start_regs,
+            start_csrs=start_csrs,
+            start_wfi=start_wfi,
+            start_send=start_send,
+            guard_reads=recorder.guard_reads,
+            ops=recorder.ops,
+            sends=tuple(
+                (s.tag, s.data, s.port, s.cycle - start_cycles)
+                for s in sent[start_sent:]
+            ),
+            accel_token=accel_token,
+            end_pc=cpu.pc,
+            end_regs=list(cpu.regs),
+            end_csrs=end_csrs,
+            end_wfi=cpu.waiting_for_interrupt,
+            end_send=(self._send_tag, self._send_len),
+            cycles_delta=cpu.cycles - start_cycles,
+            instret_delta=cpu.instret - start_instret,
+            code_epoch=cpu.code_epoch,
+            dma_accel=accel is not None and hasattr(accel, "set_payload"),
+        )
 
     def measure_cycles_per_packet(self, packets: List[bytes], port: int = 0) -> List[int]:
         """Per-packet cycle cost in a saturated back-to-back run: push

@@ -26,6 +26,10 @@ class Sample:
     mpps: float
     rx_drops: int
     host_gbps: float
+    #: replay-cache activity this interval (both zero when no cache is
+    #: attached): lookups = hits + misses + fallbacks + bypasses
+    replay_hits: int = 0
+    replay_lookups: int = 0
 
 
 class StatsSampler:
@@ -41,6 +45,8 @@ class StatsSampler:
         self._last_drops = 0
         self._last_host_bytes = 0
         self._last_time = 0.0
+        self._last_replay_hits = 0
+        self._last_replay_lookups = 0
 
     def start(self) -> None:
         if self._running:
@@ -54,17 +60,25 @@ class StatsSampler:
         tx_packets = sum(m.packets_total for m in self.system.tx_meters)
         return tx_bytes, tx_packets
 
+    def _replay_totals(self):
+        stats = self.system.replay_stats()
+        if stats is None:
+            return 0, 0
+        return stats.hits, stats.lookups
+
     def _snapshot(self) -> None:
         self._last_bytes, self._last_packets = self._totals()
         self._last_drops = self.system.total_rx_drops()
         self._last_host_bytes = self.system.host_meter.bytes_total
         self._last_time = self.system.sim.now
+        self._last_replay_hits, self._last_replay_lookups = self._replay_totals()
 
     def _tick(self) -> None:
         now = self.system.sim.now
         tx_bytes, tx_packets = self._totals()
         seconds = self.system.config.clock.cycles_to_seconds(now - self._last_time)
         host_bytes = self.system.host_meter.bytes_total
+        replay_hits, replay_lookups = self._replay_totals()
         if seconds > 0:
             self.samples.append(
                 Sample(
@@ -74,6 +88,8 @@ class StatsSampler:
                     mpps=(tx_packets - self._last_packets) / seconds / 1e6,
                     rx_drops=self.system.total_rx_drops() - self._last_drops,
                     host_gbps=(host_bytes - self._last_host_bytes) * 8 / seconds / 1e9,
+                    replay_hits=replay_hits - self._last_replay_hits,
+                    replay_lookups=replay_lookups - self._last_replay_lookups,
                 )
             )
         self._snapshot()

@@ -65,6 +65,9 @@ class RpuModel:
         self.last_progress = 0.0
         #: bumped by evict(): stale in-flight completions are ignored
         self._generation = 0
+        #: behavioural replay cache (repro.replay.FirmwareReplayCache);
+        #: attached by the system/engine when the spec enables it
+        self.replay_cache = None
         firmware.on_boot(index, config)
 
     # -- occupancy (for drain detection during reconfiguration) ---------------
@@ -98,7 +101,11 @@ class RpuModel:
         if self._sw_busy or self.paused or self._wedged or not self._in_queue:
             return
         packet = self._in_queue.popleft()
-        result = self.firmware.process(packet, self.index)
+        cache = self.replay_cache
+        if cache is not None:
+            result = cache.execute(self.firmware, packet, self.index)
+        else:
+            result = self.firmware.process(packet, self.index)
         self._results[packet.packet_id] = result
         self._sw_busy = True
         self.counters.add("packets")
@@ -157,7 +164,7 @@ class RpuModel:
         result = self._results.pop(packet.packet_id)
         if result.appended_bytes:
             packet.data = packet.data + b"\x00" * result.appended_bytes
-            packet.invalidate_parse_cache()
+            packet.mark_mutated()
         packet.stamp("rpu_done", self.sim.now)
         self.last_progress = self.sim.now
         self.on_action(packet, result, self.index)

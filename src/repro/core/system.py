@@ -236,6 +236,33 @@ class RosebudSystem:
     def _record_host(self, packet: Packet) -> None:
         self.host_rx.append(packet)
 
+    # -- replay cache (repro.replay) ----------------------------------------------------
+
+    def attach_replay_cache(self, cache) -> None:
+        """Give every RPU the same behavioural replay cache (records are
+        keyed by rpu index, so sharing one cache is safe and lets warm
+        state persist when the engine reuses it across runs)."""
+        for rpu in self.rpus:
+            rpu.replay_cache = cache
+
+    def invalidate_replay_caches(self, reason: str = "invalidate") -> None:
+        """Flush all attached replay caches (fault injectors call this
+        when they mutate state the cache keys cannot see)."""
+        seen = set()
+        for rpu in self.rpus:
+            cache = rpu.replay_cache
+            if cache is not None and id(cache) not in seen:
+                seen.add(id(cache))
+                cache.invalidate(reason)
+
+    def replay_stats(self):
+        """The :class:`~repro.replay.ReplayStats` of the attached cache,
+        or None when no RPU has one."""
+        for rpu in self.rpus:
+            if rpu.replay_cache is not None:
+                return rpu.replay_cache.stats
+        return None
+
     # -- running ----------------------------------------------------------------------
 
     def run_cycles(self, cycles: float) -> None:

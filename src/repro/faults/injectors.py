@@ -218,7 +218,9 @@ class MacCorruptInjector(FaultInjector):
                 index = rng.randrange(14, hi) if hi > 14 else rng.randrange(len(data))
                 data[index] ^= 1 + rng.randrange(255)
                 packet.data = bytes(data)
-            packet._parsed = None  # headers changed; reparse lazily
+            # headers changed: reparse lazily AND leave the packet's
+            # replay class (corrupted frames must never hit the cache)
+            packet.mark_mutated()
             return packet
 
         def start() -> None:
@@ -261,13 +263,21 @@ class AccelFaultInjector(FaultInjector):
                 f"rpu {self.spec.target} firmware has no accelerator to fault"
             )
 
+        system = controller.system
+
         def arm() -> None:
             for accel in accels:
                 accel.inject_fault(True)
+            # records made while healthy must not replay against a
+            # poisoned accelerator (and vice versa); tokens usually
+            # cover fault_active, but flushing is cheap and makes the
+            # guarantee unconditional
+            system.invalidate_replay_caches("accel_fault armed")
 
         def disarm() -> None:
             for accel in accels:
                 accel.inject_fault(False)
+            system.invalidate_replay_caches("accel_fault disarmed")
 
         self._schedule_window(controller, arm, disarm)
 

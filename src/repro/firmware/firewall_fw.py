@@ -83,5 +83,16 @@ class FirewallFirmware(FirmwareModel):
             egress_port=packet.ingress_port ^ 1,
         )
 
+    def replay_token(self) -> object:
+        # decisions depend on the packet class (src IP), the immutable
+        # compiled prefix tables, and whether a fault is armed on the
+        # matcher; counters are the only mutations
+        return ("firewall", self.matcher.fault_active)
+
+    def replay_owners(self) -> list:
+        # the shared matcher's lookups/results_poisoned counters move
+        # with every packet too
+        return [self, self.matcher]
+
     def clone(self) -> "FirewallFirmware":
         return FirewallFirmware(self.matcher)

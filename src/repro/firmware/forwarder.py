@@ -44,6 +44,10 @@ class ForwarderFirmware(FirmwareModel):
             action=ACTION_FORWARD, sw_cycles=self.sw_cycles, egress_port=egress
         )
 
+    def replay_token(self) -> object:
+        # stateless: the decision is a pure function of the packet class
+        return ("forwarder", self.sw_cycles, self.single_port)
+
     def clone(self) -> "ForwarderFirmware":
         return ForwarderFirmware(self.sw_cycles, self.single_port)
 
@@ -103,6 +107,11 @@ class TwoStepForwarder(FirmwareModel):
             sw_cycles=self.sw_cycles,
             egress_port=packet.ingress_port ^ 1,
         )
+
+    def replay_token(self) -> object:
+        # stateless, but rpu_index-sensitive — safe because the cache
+        # key carries the rpu index
+        return ("loopback_fw", self.n_rpus, self.sw_cycles)
 
     def clone(self) -> "TwoStepForwarder":
         return TwoStepForwarder(self.n_rpus, self.sw_cycles)

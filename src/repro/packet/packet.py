@@ -65,6 +65,7 @@ class Packet:
         "seq_index",
         "route",
         "src_slot",
+        "class_key",
         "_parsed",
     )
 
@@ -93,6 +94,10 @@ class Packet:
         self.seq_index = seq_index
         self.route = None  # FirmwareResult once an RPU has decided
         self.src_slot = None  # (rpu, slot) while traversing egress
+        # replay-cache class signature: stamped by the traffic layer
+        # when the packet comes from a flyweight template (byte-identical
+        # frames share a key); None means "not classifiable, never cache"
+        self.class_key: Optional[object] = None
         self._parsed: Optional[ParsedHeaders] = None
 
     @property
@@ -180,6 +185,14 @@ class Packet:
     def invalidate_parse_cache(self) -> None:
         """Call after mutating ``data`` so headers are re-parsed."""
         self._parsed = None
+
+    def mark_mutated(self) -> None:
+        """Call after mutating ``data``: drops the parse cache *and* the
+        class signature, so the replay cache can never treat the packet
+        as its original template (fault injectors corrupting bytes,
+        firmware appending rule IDs, NAT rewrites)."""
+        self._parsed = None
+        self.class_key = None
 
     def __repr__(self) -> str:
         kind = "tcp" if self.is_tcp else "udp" if self.is_udp else "raw"

@@ -1,0 +1,157 @@
+"""The two replay-cache layers: instruction-level and behavioural."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .record import ReplayRecord
+from .stats import ReplayStats
+
+
+class ReplayCache:
+    """Instruction-level record store for :class:`~repro.core.funcsim.FunctionalRpu`.
+
+    Keys are ``(class signature, slot tag)``; the class signature
+    promises byte-identical frame contents, the tag pins the packet
+    slot (records capture absolute slot addresses).  Each key holds a
+    short list of start-state variants — steady-state loops produce
+    one, mixed traffic (imix) produces one per predecessor class.
+
+    The cache is **per CPU**: records embed the CPU's code-epoch
+    counter, and any epoch change (firmware reload, self-modifying
+    code) flushes the whole store on the next lookup.  Do not share one
+    instance between cores — share a :class:`ReplayStats` instead.
+    """
+
+    def __init__(
+        self,
+        stats: Optional[ReplayStats] = None,
+        max_records: int = 8192,
+        max_variants: int = 4,
+    ) -> None:
+        self.stats = stats if stats is not None else ReplayStats()
+        self.max_records = max_records
+        self.max_variants = max_variants
+        self._records: Dict[Any, List[ReplayRecord]] = {}
+        self._size = 0
+        self._code_epoch: Optional[int] = None
+        #: verified chain edges ``(id(prev), id(next))``: next's start
+        #: arch state equals prev's (fixed) end state, so a hit that
+        #: directly follows prev may skip the register/CSR compares.
+        #: Cleared with the records — ids are only unique while the
+        #: records they name are alive.
+        self._edges: set = set()
+
+    def lookup(self, key: Any, code_epoch: int) -> Tuple[ReplayRecord, ...]:
+        """Candidate records for ``key``, flushing first if the code
+        epoch moved (stale decode ⇒ every record is suspect)."""
+        if code_epoch != self._code_epoch:
+            if self._records:
+                self.invalidate("code epoch changed")
+            self._code_epoch = code_epoch
+        recs = self._records.get(key)
+        return tuple(recs) if recs else ()
+
+    def store(self, key: Any, record: ReplayRecord) -> bool:
+        """Retain ``record`` under ``key``; False when capacity-refused.
+
+        Records are never evicted individually (a full cache just stops
+        accepting), so a stored record stays alive — and its ``id()``
+        unambiguous in the chain-edge set — until the next flush."""
+        if self._size >= self.max_records:
+            return False  # full: keep serving what we have
+        variants = self._records.setdefault(key, [])
+        if len(variants) >= self.max_variants:
+            return False
+        variants.append(record)
+        self._size += 1
+        return True
+
+    def invalidate(self, reason: str = "") -> None:
+        self._records.clear()
+        self._edges.clear()
+        self._size = 0
+        self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class FirmwareReplayCache:
+    """Behavioural-model memoization for the event-driven simulator.
+
+    Wraps :meth:`FirmwareModel.process`: a record stores the returned
+    :class:`~repro.core.firmware_api.FirmwareResult` (results are
+    treated as immutable by the datapath) plus the public integer
+    counter deltas the call applied to the firmware's replay owners.
+    The key is ``(firmware class, class signature, ingress port,
+    rpu index, firmware token)`` — the token is the firmware's own
+    digest of the mutable state its decisions depend on; ``None``
+    (the default) bypasses caching entirely.
+
+    One instance is shared by every RPU of a system (clones share
+    behaviour; deltas are re-bound to the calling clone's owners), and
+    may persist across sweep points that run the same firmware.
+    """
+
+    def __init__(
+        self, stats: Optional[ReplayStats] = None, max_records: int = 65536
+    ) -> None:
+        self.stats = stats if stats is not None else ReplayStats()
+        self.max_records = max_records
+        self._records: Dict[tuple, Tuple[Any, tuple]] = {}
+
+    def execute(self, firmware: Any, packet: Any, rpu_index: int) -> Any:
+        token = firmware.replay_token()
+        class_key = packet.class_key
+        if token is None or class_key is None:
+            self.stats.bypasses += 1
+            return firmware.process(packet, rpu_index)
+        key = (type(firmware), class_key, packet.ingress_port, rpu_index, token)
+        rec = self._records.get(key)
+        if rec is not None:
+            result, deltas = rec
+            if deltas:
+                owners = firmware.replay_owners()
+                for owner_index, name, delta in deltas:
+                    owner = owners[owner_index]
+                    setattr(owner, name, getattr(owner, name) + delta)
+            self.stats.hits += 1
+            return result
+        owners = firmware.replay_owners()
+        before = [_int_attrs(owner) for owner in owners]
+        result = firmware.process(packet, rpu_index)
+        self.stats.misses += 1
+        if firmware.replay_token() != token:
+            # processing itself moved the token (stateful after all):
+            # the record would never validate — don't store it
+            return result
+        deltas: List[Tuple[int, str, int]] = []
+        for owner_index, owner in enumerate(owners):
+            old = before[owner_index]
+            for name, value in _int_attrs(owner).items():
+                delta = value - old.get(name, 0)
+                if delta:
+                    deltas.append((owner_index, name, delta))
+        if len(self._records) < self.max_records:
+            self._records[key] = (result, tuple(deltas))
+        return result
+
+    def invalidate(self, reason: str = "") -> None:
+        self._records.clear()
+        self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def _int_attrs(owner: Any) -> Dict[str, int]:
+    """Public integer counters of a replay owner (the same attribute
+    slice ``analysis.engine._firmware_totals`` aggregates)."""
+    out: Dict[str, int] = {}
+    for name, value in vars(owner).items():
+        if name.startswith("_") or isinstance(value, bool):
+            continue
+        if isinstance(value, int):
+            out[name] = value
+    return out

@@ -1,0 +1,55 @@
+"""Shared hit/miss accounting for both replay-cache layers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ReplayStats:
+    """Counters proving what the cache did.
+
+    * ``hits`` — packets applied from a record without executing.
+    * ``misses`` — no record for the key yet; real execution recorded.
+    * ``fallbacks`` — a record existed but its guard failed (start
+      state, read set, or accelerator token diverged); real execution.
+    * ``bypasses`` — caching declined up front (no class signature, no
+      firmware token, or a record marked non-replayable).
+    * ``invalidations`` — explicit flushes (fault injectors, firmware
+      reload, self-modifying code).
+    """
+
+    __slots__ = ("hits", "misses", "fallbacks", "bypasses", "invalidations")
+
+    FIELDS = ("hits", "misses", "fallbacks", "bypasses", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fallbacks = 0
+        self.bypasses = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.fallbacks + self.bypasses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since ``base`` (a prior snapshot) —
+        per-point reporting for warm caches shared across sweep points."""
+        return {name: getattr(self, name) - base.get(name, 0) for name in self.FIELDS}
+
+    def merge(self, other: "ReplayStats") -> None:
+        for name in self.FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{n}={getattr(self, n)}" for n in self.FIELDS)
+        return f"<ReplayStats {body}>"

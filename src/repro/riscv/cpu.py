@@ -187,6 +187,10 @@ class RiscvCpu:
         self._code_lo = 1 << 62
         self._code_hi = -1
         self._break_block = False
+        #: bumped whenever decoded code may be stale (icache flush or a
+        #: store into decoded words) — replay records pin this so stale
+        #: brackets can never be replayed against patched firmware
+        self.code_epoch = 0
         bus.watch_stores(self._store_watch)
 
         backend = backend or _DEFAULT_BACKEND
@@ -298,6 +302,7 @@ class RiscvCpu:
         self._code_words.clear()
         self._code_lo = 1 << 62
         self._code_hi = -1
+        self.code_epoch += 1
         if self._engine is not None:
             self._engine.flush()
 
@@ -325,6 +330,7 @@ class RiscvCpu:
     def _invalidate_word(self, word: int) -> None:
         self._code_words.discard(word)
         self._decode_cache.pop(word, None)
+        self.code_epoch += 1
         if self._engine is not None:
             self._engine.invalidate_word(word)
         # if we are mid-superblock, stop fusing at the next boundary
@@ -373,6 +379,50 @@ class RiscvCpu:
             self.step()
             executed += 1
         return executed
+
+    def record_run(
+        self,
+        recorder,
+        max_instructions: int = 1_000_000,
+        until: Optional[Callable[["RiscvCpu"], bool]] = None,
+    ) -> int:
+        """Interpreter run with every data-bus transaction routed through
+        ``recorder`` (replay capture, see ``repro.replay``).
+
+        The translated engine is bypassed — its closures bind region
+        handlers at decode time and cannot be traced — but both backends
+        are cycle-identical (pinned by the differential backend suite),
+        so records captured here replay exactly under either.  Unstable
+        inputs (``mcycle``/``minstret`` CSR reads, host ecall handlers)
+        mark the recording unreplayable as they occur.
+        """
+        real_bus = self.bus
+        self.bus = recorder
+        try:
+            executed = 0
+            while executed < max_instructions and not self.halted:
+                if until is not None and until(self):
+                    break
+                cause = self._pending_interrupt()
+                if cause is not None:
+                    self._take_interrupt(cause)
+                if self.waiting_for_interrupt:
+                    self.cycles += 1
+                    executed += 1
+                    continue
+                inst = self.fetch_decode(self.pc)
+                m = inst.mnemonic
+                if m.startswith("csr"):
+                    if inst.csr in (CSR_MCYCLE, CSR_MINSTRET):
+                        recorder.mark_unreplayable("reads mcycle/minstret")
+                elif m == "ecall" and self.ecall_handler is not None:
+                    recorder.mark_unreplayable("ecall handler side effects")
+                self._execute(inst)
+                self.instret += 1
+                executed += 1
+            return executed
+        finally:
+            self.bus = real_bus
 
     # -- the big dispatch ------------------------------------------------------
 

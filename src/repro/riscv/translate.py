@@ -598,6 +598,13 @@ class TranslatedEngine:
         self.blocks: Dict[int, List[_OpFn]] = {}
         #: word addr -> entry pcs of blocks spanning it
         self.block_index: Dict[int, Set[int]] = {}
+        #: the bus object the cached closures were compiled against.
+        #: Closures bind ``bus._find`` and region handlers at compile
+        #: time, so running them after a bus swap (e.g. the replay
+        #: cache's ``record_run`` tracing wrapper) would silently read
+        #: and write the *old* bus.  ``run``/``step`` check identity
+        #: once per call and fail loudly instead.
+        self.compiled_bus = None
 
     # -- cache maintenance ---------------------------------------------------
 
@@ -605,6 +612,16 @@ class TranslatedEngine:
         self.ops.clear()
         self.blocks.clear()
         self.block_index.clear()
+        self.compiled_bus = None
+
+    def _check_bus(self) -> None:
+        if self.compiled_bus is not None and self.compiled_bus is not self.cpu.bus:
+            raise RuntimeError(
+                "cpu.bus was swapped under the translated engine's "
+                "compiled closures; trace through RiscvCpu.record_run "
+                "(which bypasses the engine) or invalidate_icache() "
+                "before running"
+            )
 
     def invalidate_word(self, word: int) -> None:
         self.ops.pop(word, None)
@@ -629,6 +646,7 @@ class TranslatedEngine:
     def _translate_op(self, pc: int) -> Tuple[_OpFn, bool]:
         entry = self.ops.get(pc)
         if entry is None:
+            self.compiled_bus = self.cpu.bus
             entry = self._compile_at(pc)
             self.ops[pc] = entry
             self.cpu._note_code_word(pc)
@@ -655,6 +673,7 @@ class TranslatedEngine:
         cpu = self.cpu
         if cpu.halted:
             raise CpuHalted("core is halted")
+        self._check_bus()
 
         cause = cpu._pending_interrupt()
         if cause is not None:
@@ -678,6 +697,7 @@ class TranslatedEngine:
         until: Optional[Callable[[object], bool]] = None,
     ) -> int:
         cpu = self.cpu
+        self._check_bus()
         blocks = self.blocks
         csrs = cpu.csrs
         executed = 0

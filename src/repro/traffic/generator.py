@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..packet.builder import build_tcp
 from ..packet.packet import Packet
+from ..packet.template import PacketTemplate, intern_template
 from ..sim.clock import wire_bytes
 from ..core.system import RosebudSystem
 
@@ -77,9 +78,11 @@ class TrafficSource:
 class FixedSizeSource(TrafficSource):
     """Same-size TCP packets over a pool of distinct flows.
 
-    Distinct 5-tuples matter for the hash LB; packet bytes are built
-    once per flow and shared across emissions, which keeps generation
-    cheap at simulation scale.
+    Distinct 5-tuples matter for the hash LB; each flow's frame is a
+    flyweight :class:`~repro.packet.template.PacketTemplate` built
+    once — emissions share its bytes, its parse, and its replay-cache
+    class signature, so the per-packet hot loop allocates one
+    :class:`Packet` and nothing else.
     """
 
     def __init__(
@@ -96,7 +99,7 @@ class FixedSizeSource(TrafficSource):
         super().__init__(system, port, offered_gbps, n_packets, respect_generator_cap)
         self.packet_size = packet_size
         rng = random.Random(seed)
-        self._templates: List[bytes] = []
+        self._templates: List[PacketTemplate] = []
         for flow in range(n_flows):
             pkt = build_tcp(
                 src_ip=f"10.{port}.{flow // 250}.{flow % 250 + 1}",
@@ -105,11 +108,11 @@ class FixedSizeSource(TrafficSource):
                 dst_port=80,
                 pad_to=max(packet_size, 60),
             )
-            self._templates.append(pkt.data)
+            self._templates.append(intern_template(pkt.data, port))
         self._cycle = itertools.cycle(self._templates)
 
     def next_packet(self) -> Packet:
-        return Packet(next(self._cycle), ingress_port=self.port)
+        return next(self._cycle).make_packet()
 
 
 #: The classic simple-IMIX mix: (size, weight).
@@ -142,13 +145,16 @@ class ImixSource(TrafficSource):
         self._templates = {}
         for size, _weight in mix:
             self._templates[size] = [
-                build_tcp(
-                    src_ip=f"10.{port}.{flow // 250}.{flow % 250 + 1}",
-                    dst_ip="10.200.0.2",
-                    src_port=2048 + flow,
-                    dst_port=443,
-                    pad_to=max(size, 60),
-                ).data
+                intern_template(
+                    build_tcp(
+                        src_ip=f"10.{port}.{flow // 250}.{flow % 250 + 1}",
+                        dst_ip="10.200.0.2",
+                        src_port=2048 + flow,
+                        dst_port=443,
+                        pad_to=max(size, 60),
+                    ).data,
+                    port,
+                )
                 for flow in range(max(1, n_flows // len(mix)))
             ]
 
@@ -158,8 +164,7 @@ class ImixSource(TrafficSource):
 
     def next_packet(self) -> Packet:
         size = self.rng.choice(self._sizes)
-        data = self.rng.choice(self._templates[size])
-        return Packet(data, ingress_port=self.port)
+        return self.rng.choice(self._templates[size]).make_packet()
 
 
 class CallbackSource(TrafficSource):
@@ -197,16 +202,19 @@ class ReplaySource(TrafficSource):
         super().__init__(system, port, offered_gbps, n, respect_generator_cap)
         if not packets:
             raise ValueError("nothing to replay")
-        self._packets = list(packets)
+        # flyweight the trace up front: distinct frames intern to one
+        # template each, carrying the per-packet trace metadata along
+        self._packets = [
+            (intern_template(p.data, port), p.is_attack, p.flow_id, p.seq_index)
+            for p in packets
+        ]
         self._index = 0
 
     def next_packet(self) -> Packet:
-        template = self._packets[self._index % len(self._packets)]
+        template, is_attack, flow_id, seq_index = self._packets[
+            self._index % len(self._packets)
+        ]
         self._index += 1
-        return Packet(
-            template.data,
-            ingress_port=self.port,
-            is_attack=template.is_attack,
-            flow_id=template.flow_id,
-            seq_index=template.seq_index,
+        return template.make_packet(
+            is_attack=is_attack, flow_id=flow_id, seq_index=seq_index
         )

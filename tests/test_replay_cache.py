@@ -1,0 +1,368 @@
+"""Differential tests for the packet-class replay cache (PR 4).
+
+The cache's one contract is *correctness over hit rate*: with the
+cache on, every observable — send streams including per-packet cycle
+stamps, packet/data memory images, accelerator traffic, experiment
+statistics, resilience reports — must be byte-identical to the
+uncached run.  These tests drive both simulation layers with the
+cache on and off and diff the observables, including the cases that
+must force a fallback or bypass (per-flow mutable state,
+self-modifying code, fault injection).
+"""
+
+import pytest
+
+from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from repro.analysis import (
+    ExperimentSpec,
+    MeasurementWindow,
+    SweepRunner,
+    TrafficProfile,
+    run_experiment,
+)
+from repro.core import RosebudConfig
+from repro.core.funccluster import FunctionalCluster
+from repro.core.funcsim import FunctionalRpu
+from repro.faults import FaultSpec
+from repro.firmware import FIREWALL_ASM, FORWARDER_ASM, FirewallFirmware, ForwarderFirmware
+from repro.firmware.asm_sources import FLOW_COUNTER_ASM
+from repro.packet import build_tcp, build_udp, int_to_ip
+from repro.replay import ReplayCache
+
+# -- shared traffic ---------------------------------------------------------
+
+BLACKLIST = parse_blacklist(generate_blacklist(1050))
+
+#: self-modifying forwarder: each packet stores the firmware's own
+#: first instruction word back over itself — a no-op for behaviour,
+#: but an icache/code-epoch event every bracket, so the cache must
+#: refuse to replay (bypass) and still match the uncached run.
+SMC_FORWARDER_ASM = """
+# forwarder that rewrites its own first instruction every packet
+.equ IO_BASE, 0x01000000
+
+main:
+    li   a0, IO_BASE      # word 0: re-fetched every iteration (j main)
+loop:
+    lw   t0, 0(a0)        # RECV_READY
+    beqz t0, loop
+    lw   t1, 4(a0)        # tag
+    lw   t2, 8(a0)        # len
+    lw   t3, 12(a0)       # port
+    sw   zero, 20(a0)     # release
+    lw   t5, 0(zero)      # read own first instruction word
+    sw   t5, 0(zero)      # ...and store it back (self-modifying)
+    xori t3, t3, 1
+    sw   t1, 24(a0)
+    sw   t2, 28(a0)
+    sw   t3, 32(a0)
+    j    main
+"""
+
+
+def _clean_frame(size=512, src="10.0.0.1"):
+    return build_tcp(src, "2.2.2.2", 1000, 80, pad_to=size).data
+
+
+def _blacklisted_frame(size=512):
+    return build_tcp(int_to_ip(BLACKLIST[0].network), "2.2.2.2", 999, 80,
+                     pad_to=size).data
+
+
+def _sent_stream(rpu):
+    """Every observable of the egress stream, cycle stamps included."""
+    return [(s.tag, s.data, s.port, s.cycle) for s in rpu.sent]
+
+
+# -- functional-simulator differentials -------------------------------------
+
+
+class TestFuncsimDifferential:
+    def _run(self, frames, cached, asm=FIREWALL_ASM, with_matcher=True):
+        """Drive ``frames`` (data, class_key, port) through one RPU."""
+        accel = IpBlacklistMatcher(BLACKLIST) if with_matcher else None
+        rpu = FunctionalRpu(asm, accelerator=accel)
+        cache = None
+        if cached:
+            cache = ReplayCache()
+            rpu.attach_replay_cache(cache)
+        slots = rpu.config.slots_per_rpu
+        done = 0
+        while done < len(frames):
+            batch = frames[done:done + slots]
+            for data, key, port in batch:
+                rpu.push_packet(data, port=port, class_key=key)
+            for _ in batch:
+                rpu.step_packet()
+            done += len(batch)
+        lookups = accel.lookups if accel is not None else 0
+        return {
+            "sent": _sent_stream(rpu),
+            "pmem": rpu.dump_memory("pmem"),
+            "dmem": rpu.dump_memory("dmem"),
+            "lookups": lookups,
+            "stats": cache.stats if cache is not None else None,
+        }
+
+    def _assert_identical(self, off, on):
+        assert on["sent"] == off["sent"]
+        assert on["pmem"] == off["pmem"]
+        assert on["dmem"] == off["dmem"]
+        assert on["lookups"] == off["lookups"]
+
+    def test_uniform_firewall_parity(self):
+        """Steady-state single-class traffic: high hit rate, identical
+        send stream including per-packet cycle stamps."""
+        frame = _clean_frame()
+        frames = [(frame, frame, 0)] * 160
+        off = self._run(frames, cached=False)
+        on = self._run(frames, cached=True)
+        self._assert_identical(off, on)
+        assert on["stats"].hits > 100
+        # warm-up only: one miss per slot tag, plus at most a variant
+        # re-record per tag where the predecessor state differed
+        assert on["stats"].misses + on["stats"].fallbacks <= 32
+
+    def test_mixed_class_imix_parity(self):
+        """Imix-style rotation through classes and sizes (including a
+        drop class and slot reuse by a shorter successor frame)."""
+        classes = [
+            (_clean_frame(1500), 0),
+            (_blacklisted_frame(512), 0),   # dropped by the firewall
+            (_clean_frame(256, "10.9.9.9"), 1),
+            (build_udp("10.2.2.2", "3.3.3.3", 53, 53, pad_to=640).data, 0),
+        ]
+        frames = [
+            (data, data, port)
+            for _ in range(40)
+            for data, port in classes
+        ]
+        off = self._run(frames, cached=False)
+        on = self._run(frames, cached=True)
+        self._assert_identical(off, on)
+        assert on["stats"].hits > 0
+
+    def test_per_flow_state_forces_fallback(self):
+        """FLOW_COUNTER_ASM mutates a dmem counter per packet, so a
+        record's read guard can never validate twice — every repeat
+        must fall back to real execution, and the counters in dmem
+        must still match the uncached run exactly."""
+        frame = _clean_frame()
+        frames = [(frame, frame, 0)] * 60
+        off = self._run(frames, cached=False, asm=FLOW_COUNTER_ASM,
+                        with_matcher=False)
+        on = self._run(frames, cached=True, asm=FLOW_COUNTER_ASM,
+                       with_matcher=False)
+        self._assert_identical(off, on)
+        assert on["stats"].fallbacks > 0
+        assert on["stats"].hits == 0
+
+    def test_self_modifying_code_forces_bypass(self):
+        """An SMC store inside the bracket makes it unreplayable: no
+        hits, identical output."""
+        frame = _clean_frame()
+        frames = [(frame, frame, 0)] * 40
+        off = self._run(frames, cached=False, asm=SMC_FORWARDER_ASM,
+                        with_matcher=False)
+        on = self._run(frames, cached=True, asm=SMC_FORWARDER_ASM,
+                       with_matcher=False)
+        self._assert_identical(off, on)
+        assert on["stats"].hits == 0
+        assert on["stats"].bypasses > 0
+
+    def test_icache_invalidate_flushes_cache(self):
+        """A firmware-reload-style epoch bump must flush the store and
+        re-record; results stay identical across the flush."""
+        frame = _clean_frame()
+        accel = IpBlacklistMatcher(BLACKLIST)
+        rpu = FunctionalRpu(FIREWALL_ASM, accelerator=accel)
+        cache = ReplayCache()
+        rpu.attach_replay_cache(cache)
+
+        ref = FunctionalRpu(
+            FIREWALL_ASM, accelerator=IpBlacklistMatcher(BLACKLIST)
+        )
+        for i in range(1, 41):
+            rpu.push_packet(frame, port=0, class_key=frame)
+            rpu.step_packet()
+            ref.push_packet(frame, port=0, class_key=frame)
+            ref.run_until_sent(i)
+            if i == 20:
+                warm_hits = cache.stats.hits
+                assert warm_hits > 0
+                rpu.cpu.invalidate_icache()
+        assert cache.stats.invalidations >= 1
+        assert cache.stats.hits > warm_hits  # re-warmed after the flush
+        assert _sent_stream(rpu) == _sent_stream(ref)
+        assert rpu.dump_memory("pmem") == ref.dump_memory("pmem")
+
+    def test_cluster_parity(self):
+        """The 8-RPU cluster drain path (the bench-cache configuration)
+        with mixed traffic: per-RPU streams and memories identical."""
+        classes = [
+            (_clean_frame(512), 0),
+            (_clean_frame(512, "10.4.4.4"), 1),
+            (_blacklisted_frame(512), 0),
+        ]
+
+        def run(cached):
+            cluster = FunctionalCluster(
+                4,
+                FIREWALL_ASM,
+                accelerator_factory=lambda: IpBlacklistMatcher(BLACKLIST),
+                replay_cache=cached,
+            )
+            burst = 4 * cluster.config.slots_per_rpu
+            pushed = 0
+            todo = [classes[i % len(classes)] for i in range(400)]
+            while pushed < len(todo):
+                for data, port in todo[pushed:pushed + burst]:
+                    cluster.push_packet(data, port=port, class_key=data)
+                    pushed += 1
+                cluster.run_until_all_sent()
+            streams = [_sent_stream(rpu) for rpu in cluster.rpus]
+            pmems = [rpu.dump_memory("pmem") for rpu in cluster.rpus]
+            lookups = sum(rpu.accelerator.lookups for rpu in cluster.rpus)
+            return streams, pmems, lookups, cluster.replay_stats
+
+        off_streams, off_pmems, off_lookups, _ = run(False)
+        on_streams, on_pmems, on_lookups, stats = run(True)
+        assert on_streams == off_streams
+        assert on_pmems == off_pmems
+        assert on_lookups == off_lookups
+        assert stats.hits > 0
+
+    def test_translated_bus_swap_guard(self):
+        """The closure-translated engine binds bus handlers at compile
+        time; swapping the bus underneath it must fail loudly instead
+        of silently reading the dead bus."""
+        rpu = FunctionalRpu(FORWARDER_ASM, cpu_backend="translated")
+        rpu.push_packet(_clean_frame(), port=0)
+        rpu.run_until_sent(1)  # compiles the firmware loop
+        rpu.cpu.bus = type(rpu.cpu.bus)()  # leaked swap (no restore)
+        rpu.push_packet(_clean_frame(), port=0)
+        with pytest.raises(RuntimeError, match="swapped"):
+            rpu.run_until_sent(2)
+
+
+# -- event-driven-simulator differentials -----------------------------------
+
+FAST = MeasurementWindow(warmup_packets=100, measure_packets=600)
+
+
+def _firewall_spec(**kw):
+    defaults = dict(
+        config=RosebudConfig(n_rpus=4),
+        firmware=FirewallFirmware,
+        firmware_args=(IpBlacklistMatcher(BLACKLIST),),
+        traffic=TrafficProfile(packet_size=512, offered_gbps=40.0),
+        window=FAST,
+        include_absorbed=True,
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+def _differential(make_spec):
+    """Run ``make_spec(replay_cache=...)`` both ways; the dicts must be
+    identical except for the spec hash (the flag is part of it) and the
+    replay counter block.  Returns the counters for extra asserts."""
+    off = run_experiment(make_spec(replay_cache=False)).to_dict()
+    on = run_experiment(make_spec(replay_cache=True)).to_dict()
+    replay = on.pop("replay")
+    off.pop("spec_key")
+    on.pop("spec_key")
+    assert on == off
+    return replay
+
+
+class TestEventSimDifferential:
+    def test_uniform_firewall(self):
+        replay = _differential(lambda **kw: _firewall_spec(**kw))
+        assert replay["hits"] > 0
+        assert replay["fallbacks"] == 0
+
+    def test_imix_forwarder(self):
+        replay = _differential(lambda **kw: ExperimentSpec(
+            config=RosebudConfig(n_rpus=4),
+            firmware=ForwarderFirmware,
+            traffic=TrafficProfile(packet_size=512, offered_gbps=40.0,
+                                   source="imix"),
+            window=FAST,
+            **kw,
+        ))
+        assert replay["hits"] > 0
+
+    def test_attack_flows_bypass(self):
+        """Flow traffic with an attack mix builds every frame
+        individually (no flyweight template, no class signature), so
+        the cache must bypass — and the stats must not move."""
+        replay = _differential(lambda **kw: _firewall_spec(
+            traffic=TrafficProfile(
+                packet_size=512,
+                offered_gbps=40.0,
+                source="flows",
+                source_kwargs={
+                    "n_flows": 16,
+                    "attack_fraction": 0.1,
+                    "attack_payloads": (b"XATTACKX",),
+                },
+            ),
+            **kw,
+        ))
+        assert replay["hits"] == 0
+        assert replay["bypasses"] > 0
+
+    def test_latency_measurement(self):
+        _differential(lambda **kw: _firewall_spec(measure="latency", **kw))
+
+    def test_accel_fault_chaos_identical(self):
+        """Fault campaigns must stay byte-identical too: the injector
+        invalidates the (private, never warm-shared) cache when it arms
+        and disarms, so poisoned windows never replay stale verdicts."""
+        fault = FaultSpec(
+            kind="accel_fault", at_cycles=30_000.0, target=0,
+            duration_cycles=40_000.0, magnitude=1.0, seed=7,
+        )
+        window = MeasurementWindow(warmup_packets=100, measure_packets=1500)
+        replay = _differential(lambda **kw: _firewall_spec(
+            faults=(fault,), window=window, **kw,
+        ))
+        assert replay["invalidations"] >= 2  # arm + disarm
+
+    def test_mac_corrupt_chaos_identical(self):
+        """Corrupted frames are mutated in place; mark_mutated() drops
+        their class signature so they can never serve or seed a hit."""
+        fault = FaultSpec(
+            kind="mac_corrupt", at_cycles=20_000.0, target=0,
+            duration_cycles=30_000.0, magnitude=0.5, seed=11,
+        )
+        replay = _differential(lambda **kw: _firewall_spec(
+            faults=(fault,), **kw,
+        ))
+        assert replay["hits"] > 0  # clean traffic still replays
+
+    def test_warm_cache_across_sweep_points(self):
+        """Two fault-free points with the same firmware fingerprint
+        share the warm cache in a serial sweep: the second point starts
+        hot and records (almost) nothing new."""
+        matcher = IpBlacklistMatcher(parse_blacklist(generate_blacklist(977)))
+        common = dict(
+            config=RosebudConfig(n_rpus=4),
+            firmware=FirewallFirmware,
+            firmware_args=(matcher,),
+            traffic=TrafficProfile(packet_size=512, offered_gbps=40.0),
+            include_absorbed=True,
+            replay_cache=True,
+        )
+        specs = [
+            ExperimentSpec(window=FAST, name="cold", **common),
+            ExperimentSpec(window=MeasurementWindow(
+                warmup_packets=100, measure_packets=400), name="warm", **common),
+        ]
+        outcome = SweepRunner(jobs=1).run(specs)
+        first = outcome[0].result.replay
+        second = outcome[1].result.replay
+        assert first["misses"] > 0
+        assert second["hits"] > 0
+        assert second["misses"] < first["misses"]
