@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache verify-fw ci lint examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,8 +37,16 @@ lint:
 	fi
 	$(PYTHON) -m compileall -q src
 
+# Static firmware verification gate: every bundled firmware must hold
+# its documented operating point (CFG/WCET budget, MMIO footprint,
+# floorplan, replay lint), and the full pass must stay fast enough to
+# run as a sweep pre-flight.
+verify-fw:
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify --all
+	PYTHONPATH=src $(PYTHON) benchmarks/verify_probe.py
+
 # Everything the GitHub workflow runs, in one local command.
-ci: lint
+ci: lint verify-fw
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_CI=1 $(MAKE) bench-smoke
 

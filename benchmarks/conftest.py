@@ -36,6 +36,10 @@ FLOOR_EVENTS_PER_SEC = 10_000 if REPRO_CI else 50_000
 #: not relaxed on CI.
 FLOOR_REPLAY_SPEEDUP = 1.5 if REPRO_CI else 3.0
 FLOOR_REPLAY_HIT_RATE = 0.9
+#: verify_probe.py: wall-clock ceiling for statically verifying every
+#: bundled firmware (CFG + WCET + MMIO + lint).  The analyzer must stay
+#: cheap enough to run as a pre-flight on every sweep.
+FLOOR_VERIFY_SECONDS = 20.0 if REPRO_CI else 5.0
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +51,7 @@ def perf_floors():
         "events_per_sec": FLOOR_EVENTS_PER_SEC,
         "replay_speedup": FLOOR_REPLAY_SPEEDUP,
         "replay_hit_rate": FLOOR_REPLAY_HIT_RATE,
+        "verify_seconds": FLOOR_VERIFY_SECONDS,
     }
 
 

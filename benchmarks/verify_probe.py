@@ -1,0 +1,57 @@
+"""Standalone static-verification probe for ``make verify-fw``.
+
+Runs the full ``repro.verify`` pipeline (CFG build, WCET, MMIO
+footprint check, floorplan check, replay lint) over every bundled
+firmware at its documented operating point and asserts:
+
+* every firmware PASSes its line-rate budget (the CI gate's contract —
+  a regression that bloats a firmware past its budget fails here
+  before it fails in a days-long sweep);
+* no error-level diagnostics (unknown MMIO, self-modifying stores,
+  unplaceable RPU counts);
+* the whole pass stays under ``FLOOR_VERIFY_SECONDS`` wall clock, so
+  the engine pre-flight stays effectively free per sweep point.
+
+Floors live in ``benchmarks/conftest.py`` (``REPRO_CI=1`` relaxes the
+runtime ceiling for shared runners; verdicts are deterministic and
+stay strict).
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import FLOOR_VERIFY_SECONDS  # noqa: E402
+
+from repro.verify import verify_all  # noqa: E402
+
+
+def main() -> int:
+    start = time.perf_counter()
+    reports = verify_all()
+    elapsed = time.perf_counter() - start
+
+    failed = []
+    for report in reports:
+        print(report.verdict.summary())
+        for diag in report.all_diagnostics():
+            print(f"  {diag.format()}")
+        if not report.passed:
+            failed.append(report.name)
+
+    print(f"\nverified {len(reports)} firmwares in {elapsed:.2f}s "
+          f"(floor {FLOOR_VERIFY_SECONDS:.0f}s)")
+    if failed:
+        print(f"FAIL: {failed} miss their documented line-rate budget")
+        return 1
+    if elapsed > FLOOR_VERIFY_SECONDS:
+        print(f"FAIL: verification took {elapsed:.2f}s "
+              f"> {FLOOR_VERIFY_SECONDS:.0f}s floor")
+        return 1
+    print("PASS: all firmwares hold their documented operating points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,13 @@ from .crossover import (
 )
 from .sweep import Sweep, SweepResult
 from .report import format_table, format_utilization_row, shape_check
-from .throughput import BottleneckReport, forwarding_bounds, loopback_bounds
+from .throughput import (
+    BottleneckReport,
+    cycle_budget_per_packet,
+    forwarding_bounds,
+    loopback_bounds,
+    rpu_cycle_budget_pps,
+)
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -71,6 +77,8 @@ __all__ = [
     "format_utilization_row",
     "shape_check",
     "BottleneckReport",
+    "cycle_budget_per_packet",
     "forwarding_bounds",
     "loopback_bounds",
+    "rpu_cycle_budget_pps",
 ]

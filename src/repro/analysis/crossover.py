@@ -18,8 +18,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..core.config import RosebudConfig
-from ..sim.clock import line_rate_pps
-from .throughput import forwarding_bounds
+from .throughput import cycle_budget_per_packet, forwarding_bounds
 
 #: A dense ladder of candidate sizes for knee searches.
 DEFAULT_SIZES = tuple(range(64, 2049, 16)) + (4096, 8192, 9000)
@@ -74,5 +73,6 @@ def required_cycles_for_line_rate(
     """Cycles-per-packet budget to sustain line rate at ``size`` —
     the inverse question firmware authors ask (e.g. the firewall's
     ~44-cycle budget at 256 B/200 G)."""
-    pps = n_ports * line_rate_pps(port_gbps, size)
-    return config.n_rpus * config.clock.freq_hz / pps
+    return cycle_budget_per_packet(
+        config.clock.freq_hz, config.n_rpus, size, n_ports * port_gbps
+    )

@@ -57,6 +57,27 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
         set_default_backend(spec.cpu_backend)
 
+    if spec.verify:
+        # static pre-flight: cheap (cached CFG/WCET + arithmetic), runs
+        # before the system is built so infeasible points fail in
+        # microseconds instead of burning a simulation slot
+        import warnings
+
+        from ..verify import VerificationError, preflight_spec
+
+        report = preflight_spec(spec)
+        if report.failed:
+            if spec.verify == "fail":
+                raise VerificationError(
+                    f"pre-flight verification failed: {report.summary()}",
+                    report,
+                )
+            warnings.warn(
+                f"pre-flight verification failed: {report.summary()}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     system = spec.build_system()
     sources = spec.build_sources(system)
     replay_cache = None

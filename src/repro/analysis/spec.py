@@ -40,7 +40,8 @@ from ..faults.spec import FaultSpec
 #: v2: cpu_backend field (closure-translated ISS fast path).
 #: v3: faults field (repro.faults chaos campaigns + resilience report).
 #: v4: replay_cache field (packet-class firmware memoization).
-SPEC_VERSION = 4
+#: v5: verify field (static pre-flight: WCET budget + replay lint).
+SPEC_VERSION = 5
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -240,9 +241,22 @@ class ExperimentSpec:
     #: byte-identical with the cache on or off; only wall-clock and the
     #: ``replay`` counter block of the result change.
     replay_cache: bool = False
+    #: static pre-flight verification (repro.verify) before building
+    #: the system: False (off), "warn" (run + warn on FAIL), or "fail"
+    #: (run + raise VerificationError on FAIL).  ``True`` is accepted
+    #: as a synonym for "fail".  Sweeps with verify="fail" surface an
+    #: infeasible point as a per-point error before burning pool time.
+    verify: Any = False
     name: str = ""
 
     def __post_init__(self) -> None:
+        if self.verify is True:
+            self.verify = "fail"
+        if self.verify not in (False, "warn", "fail"):
+            raise SpecError(
+                f"verify must be False, True, 'warn' or 'fail', "
+                f"not {self.verify!r}"
+            )
         if self.cpu_backend is not None:
             from ..riscv.cpu import BACKENDS
 
@@ -356,6 +370,7 @@ class ExperimentSpec:
             "cpu_backend": self.cpu_backend,
             "faults": [f.to_dict() for f in self.faults],
             "replay_cache": self.replay_cache,
+            "verify": self.verify,
         }
 
     def cache_key(self) -> str:

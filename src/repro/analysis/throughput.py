@@ -16,6 +16,43 @@ from ..core.config import RosebudConfig
 from ..sim.clock import line_rate_pps
 
 
+def rpu_cycle_budget_pps(
+    clock_hz: float,
+    n_rpus: int,
+    sw_cycles_per_packet: float,
+    accel_cycles_per_packet: float = 0.0,
+) -> float:
+    """Aggregate RPU packet service rate, in packets/second.
+
+    The paper's cycle-budget formula (docs/FIRMWARE_API.md): software
+    orchestration and accelerator occupancy overlap, so the RPU
+    sustains ``clock / max(sw_cycles, accel_cycles)`` packets per
+    second, times the number of RPUs.  This is the single source of
+    truth shared by :func:`forwarding_bounds`, ``repro verify``
+    (``repro.verify.budget``), and the engine pre-flight hook — any
+    duplicated arithmetic would let the analyzer and the simulator
+    disagree on feasibility.
+    """
+    return n_rpus * clock_hz / max(1.0, sw_cycles_per_packet, accel_cycles_per_packet)
+
+
+def cycle_budget_per_packet(
+    clock_hz: float,
+    n_rpus: int,
+    packet_size: int,
+    target_gbps: float,
+) -> float:
+    """Cycles each packet may spend on an RPU while holding ``target_gbps``.
+
+    The inverse view of :func:`rpu_cycle_budget_pps`: at the target
+    line rate the cluster must retire ``line_rate_pps`` packets/s, so
+    each of the ``n_rpus`` cores has ``n_rpus * clock / pps`` cycles
+    per packet.  A firmware whose worst-case cycles/packet exceeds
+    this budget cannot hold the target rate.
+    """
+    return n_rpus * clock_hz / line_rate_pps(target_gbps, packet_size)
+
+
 @dataclass
 class BottleneckReport:
     """Predicted packet rate and which resource binds it."""
@@ -64,10 +101,12 @@ def forwarding_bounds(
         "rpu_link": config.n_rpus
         * clock
         / config.rpu_link_service_cycles(packet_size),
-        "rpu_software": config.n_rpus * clock / max(1.0, sw_cycles_per_packet),
+        "rpu_software": rpu_cycle_budget_pps(clock, config.n_rpus, sw_cycles_per_packet),
     }
     if accel_cycles_per_packet > 0:
-        bounds["rpu_accel"] = config.n_rpus * clock / accel_cycles_per_packet
+        bounds["rpu_accel"] = rpu_cycle_budget_pps(
+            clock, config.n_rpus, 1.0, accel_cycles_per_packet
+        )
     bottleneck = min(bounds, key=bounds.get)
     return BottleneckReport(
         packet_size=packet_size,

@@ -568,6 +568,70 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Static firmware verification: CFG/WCET budget + MMIO + replay lint.
+
+    Exit status: 0 = every verified firmware PASSes, 1 = at least one
+    FAILs (or has error-level diagnostics), 2 = unknown firmware name.
+    """
+    from .verify import bundled_firmware_names, reports_to_json, verify_firmware
+
+    names = bundled_firmware_names()
+    if args.all:
+        targets = names
+    else:
+        if args.fw is None:
+            print(f"choose --fw {{{','.join(names)}}} or --all")
+            return 2
+        if args.fw not in names:
+            print(f"unknown firmware {args.fw!r}; bundled: {names}")
+            return 2
+        targets = [args.fw]
+
+    reports = []
+    for name in targets:
+        # point overrides apply only when given; otherwise each firmware
+        # is verified at its registry-documented operating point
+        reports.append(
+            verify_firmware(
+                name, n_rpus=args.rpus, packet_size=args.size, gbps=args.gbps
+            )
+        )
+
+    if args.json is not None:
+        payload = reports_to_json(reports)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        rows = []
+        for r in reports:
+            print(r.verdict.summary())
+            print(f"  critical path: {r.wcet.chain()}")
+            for handler, cycles in sorted(r.wcet.handlers.items()):
+                print(f"  handler {handler}: {cycles:.0f} cycles (incl. trap entry)")
+            if r.lint is not None:
+                print(f"  replay lint: {r.lint.cls_name} is {r.lint.classification}")
+            for d in r.all_diagnostics():
+                print(f"  {d.format()}")
+            rows.append([
+                r.name, r.verdict.verdict, f"{r.wcet.wcet_cycles:.0f}",
+                f"{r.verdict.budget_cycles:.1f}", f"{r.verdict.headroom_pct:+.1f}%",
+                f"{r.verdict.ceiling_gbps:.1f}", r.point.n_rpus,
+                r.point.packet_size, f"{r.point.gbps:g}",
+            ])
+        if len(reports) > 1:
+            print(format_table(
+                ["firmware", "verdict", "wcet", "budget", "headroom",
+                 "ceiling Gbps", "rpus", "size", "Gbps"],
+                rows, title="static verification",
+            ))
+    return 0 if all(r.passed for r in reports) else 1
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     """Disassemble a built-in firmware or an RFW image file."""
     from .firmware import FIREWALL_ASM, FORWARDER_ASM, PIGASUS_ASM
@@ -706,6 +770,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", parents=[_common_parser()],
                        help="ISS speed/cycles-per-packet calibration")
     p.set_defaults(func=cmd_calibrate, packets=200)
+
+    p = sub.add_parser("verify", parents=[_common_parser()],
+                       help="static firmware verification (CFG/WCET budget, "
+                            "MMIO footprint, replay lint)")
+    p.add_argument("--fw", default=None,
+                   help="bundled firmware to verify (see repro.verify registry)")
+    p.add_argument("--all", action="store_true",
+                   help="verify every bundled firmware at its documented point")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="emit the repro-verify/1 JSON report to PATH ('-' for "
+                        "stdout) instead of the table")
+    # point flags fall back to each firmware's registry-documented
+    # operating point, not the generic experiment defaults
+    p.set_defaults(func=cmd_verify, rpus=None, size=None, gbps=None)
 
     p = sub.add_parser("disasm", parents=[_common_parser()], help="disassemble firmware")
     p.add_argument("target", help="builtin name (forwarder/firewall/pigasus) or .rfw file")

@@ -230,7 +230,7 @@ loop:
     li   t6, 1
     sb   t6, 0(a1)         # ACC_PIG_CTRL = 1 (start)
     li   s3, 0             # match flag
-drain:
+drain:                     # loop-bound 8
     lw   t5, 28(a1)        # ACC_PIG_RULE_ID
     li   t6, 2
     sb   t6, 0(a1)         # release the word

@@ -1,6 +1,13 @@
 """RV32IM toolchain: bus, decoder, instruction-set simulator, assembler."""
 
 from .assembler import Assembler, AssemblerError, Program, assemble
+from .blocks import (
+    MAX_BLOCK,
+    TERMINAL_MNEMONICS,
+    image_decoder,
+    is_block_terminal,
+    superblock_pcs,
+)
 from .bus import BusError, MemoryBus, MmioRegion, RamRegion
 from .cpu import (
     BACKENDS,
@@ -17,6 +24,11 @@ __all__ = [
     "AssemblerError",
     "Program",
     "assemble",
+    "MAX_BLOCK",
+    "TERMINAL_MNEMONICS",
+    "image_decoder",
+    "is_block_terminal",
+    "superblock_pcs",
     "BusError",
     "MemoryBus",
     "MmioRegion",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .blocks import MAX_BLOCK, is_block_terminal
 from .bus import BusError
 from .isa import CC_BRANCH, DecodeError, decode
 from .cpu import (
@@ -53,9 +54,6 @@ from .cpu import (
     _rem,
     _signed,
 )
-
-#: Longest straight-line run fused into one superblock.
-MAX_BLOCK = 64
 
 #: XOR bias that maps two's-complement order onto unsigned order, so
 #: signed compares need no sign conversion calls.
@@ -345,6 +343,9 @@ _STORE_BYTES = {"sb": 1, "sh": 2, "sw": 4}
 def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
     """Compile ``inst`` at ``pc`` into ``(closure, is_block_terminal)``."""
     m = inst.mnemonic
+    # single source of truth for block boundaries, shared with the
+    # static CFG builder (repro.verify.cfg)
+    terminal = is_block_terminal(m)
     rd = inst.rd
     rs1 = inst.rs1
     rs2 = inst.rs2
@@ -360,11 +361,11 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.cycles += cost
             cpu.instret += 1
             return next_pc
-        return fn, False
+        return fn, terminal
 
     factory = _INLINE_OPS.get(m)
     if factory is not None:
-        return factory(cpu, regs, rd, rs1, rs2, imm, cost, next_pc), False
+        return factory(cpu, regs, rd, rs1, rs2, imm, cost, next_pc), terminal
 
     branch = _BRANCH_OPS.get(m)
     if branch is not None:
@@ -374,7 +375,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
                 cpu, regs, rs1, rs2, target, next_pc,
                 cpu._branch_taken_cost, cpu._cost_table[CC_BRANCH],
             ),
-            True,
+            terminal,
         )
 
     if m in _ALU_RR_TAIL:
@@ -386,7 +387,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m == "lw":
         find = cpu.bus._find
@@ -416,7 +417,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
                 raise _BlockAbort
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m in _LOAD_BYTES:
         find = cpu.bus._find
@@ -448,7 +449,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
                 raise _BlockAbort
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m in _STORE_BYTES:
         find = cpu.bus._find
@@ -470,7 +471,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
                 raise _BlockAbort
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m == "lui":
         value = imm & MASK32
@@ -481,7 +482,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m == "auipc":
         value = (pc + imm) & MASK32
@@ -492,7 +493,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m == "jal":
         target = (pc + imm) & MASK32
@@ -504,7 +505,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return target
 
-        return fn, True
+        return fn, terminal
 
     if m == "jalr":
         def fn() -> int:
@@ -515,7 +516,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return target
 
-        return fn, True
+        return fn, terminal
 
     if m == "fence":
         def fn() -> int:
@@ -523,7 +524,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, False
+        return fn, terminal
 
     if m == "ecall":
         def fn() -> int:
@@ -536,7 +537,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, True
+        return fn, terminal
 
     if m == "ebreak":
         def fn() -> int:
@@ -545,7 +546,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, True
+        return fn, terminal
 
     if m == "wfi":
         def fn() -> int:
@@ -554,7 +555,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, True
+        return fn, terminal
 
     if m == "mret":
         def fn() -> int:
@@ -570,7 +571,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return csrs[CSR_MEPC]
 
-        return fn, True
+        return fn, terminal
 
     if m.startswith("csr"):
         # csr* can flip mstatus.MIE / mie, so blocks end here and the
@@ -582,7 +583,7 @@ def _compile(cpu, inst, pc: int) -> Tuple[_OpFn, bool]:
             cpu.instret += 1
             return next_pc
 
-        return fn, True
+        return fn, terminal
 
     raise DecodeError(f"unimplemented mnemonic {m}")  # pragma: no cover
 
@@ -640,7 +641,7 @@ class TranslatedEngine:
             def fn() -> int:  # fault lazily, exactly when executed
                 raise err
 
-            return fn, True
+            return fn, True  # decode faults end the block (see blocks.py)
         return _compile(cpu, inst, pc)
 
     def _translate_op(self, pc: int) -> Tuple[_OpFn, bool]:

@@ -1,0 +1,106 @@
+"""Firmware static analysis: CFG + WCET budget verifier, replay linter.
+
+The subsystem answers, *before* any simulation runs:
+
+* does this firmware's worst-case cycles/packet fit the line-rate
+  budget at a given (clock, RPUs, packet size, Gbps) operating point?
+* does its MMIO footprint match the interconnect map and the configured
+  accelerator's register set?
+* does it store into its own text segment (self-modifying code)?
+* is its behavioural twin safe to memoize in the replay cache?
+
+Entry points: :func:`verify_firmware` / :func:`verify_all` (the
+``repro verify`` CLI and CI gate), :func:`preflight_spec` (the engine
+hook behind ``ExperimentSpec.verify``), and the lower-level
+:func:`build_cfg` / :func:`analyze_wcet` / :func:`lint_firmware_class`
+passes.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .budget import BudgetVerdict, budget_verdict
+from .cfg import (
+    BasicBlock,
+    Diagnostic,
+    FirmwareCfg,
+    Loop,
+    MemAccess,
+    analyze_source,
+    build_cfg,
+    region_of,
+)
+from .preflight import (
+    FIRMWARE_ASM_TWINS,
+    PreflightReport,
+    VerificationError,
+    preflight_spec,
+)
+from .registry import (
+    INTERCONNECT_REGISTERS,
+    BundledFirmware,
+    FirmwareVerifyReport,
+    OperatingPoint,
+    bundled_firmware_names,
+    bundled_firmwares,
+    reports_to_json,
+    verify_all,
+    verify_firmware,
+)
+from .replaylint import (
+    CLASS_REPLAY_SAFE,
+    CLASS_STATEFUL,
+    CLASS_UNSAFE,
+    LintFinding,
+    ReplayLintReport,
+    bundled_firmware_classes,
+    lint_all_models,
+    lint_firmware_class,
+)
+from .wcet import (
+    DEFAULT_LOOP_BOUND,
+    TRAP_ENTRY_CYCLES,
+    CriticalStep,
+    IrreducibleCfgError,
+    WcetReport,
+    analyze_wcet,
+    parse_loop_bounds,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BudgetVerdict",
+    "BundledFirmware",
+    "CLASS_REPLAY_SAFE",
+    "CLASS_STATEFUL",
+    "CLASS_UNSAFE",
+    "CriticalStep",
+    "DEFAULT_LOOP_BOUND",
+    "Diagnostic",
+    "FIRMWARE_ASM_TWINS",
+    "FirmwareCfg",
+    "FirmwareVerifyReport",
+    "INTERCONNECT_REGISTERS",
+    "IrreducibleCfgError",
+    "LintFinding",
+    "Loop",
+    "MemAccess",
+    "OperatingPoint",
+    "PreflightReport",
+    "ReplayLintReport",
+    "TRAP_ENTRY_CYCLES",
+    "VerificationError",
+    "WcetReport",
+    "analyze_source",
+    "analyze_wcet",
+    "budget_verdict",
+    "build_cfg",
+    "bundled_firmware_classes",
+    "bundled_firmware_names",
+    "bundled_firmwares",
+    "lint_all_models",
+    "lint_firmware_class",
+    "parse_loop_bounds",
+    "preflight_spec",
+    "region_of",
+    "reports_to_json",
+    "verify_all",
+    "verify_firmware",
+]

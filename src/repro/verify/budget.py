@@ -1,0 +1,107 @@
+"""Line-rate verdicts: WCET bound vs the paper's cycle budget.
+
+Everything here is arithmetic on top of the *centralized* budget
+formula in :mod:`repro.analysis.throughput` — the same
+``clock / max(sw_cycles, accel_cycles)`` model ``forwarding_bounds``
+predicts with and ``docs/FIRMWARE_API.md`` documents — so the verdict
+``repro verify`` prints, the engine pre-flight raises, and the analytic
+sweep bounds can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.throughput import cycle_budget_per_packet, rpu_cycle_budget_pps
+from ..sim.clock import ROSEBUD_CLOCK, line_rate_pps
+
+
+@dataclass(frozen=True)
+class BudgetVerdict:
+    """PASS/FAIL of one firmware at one operating point."""
+
+    firmware: str
+    passed: bool
+    wcet_cycles: float  # static software bound (cycles/packet)
+    accel_cycles: float  # worst-case accelerator occupancy
+    budget_cycles: float  # cycles/packet available at the target rate
+    headroom_pct: float  # (budget - binding) / budget, in percent
+    ceiling_gbps: float  # highest sustainable offered rate
+    target_gbps: float
+    packet_size: int
+    n_rpus: int
+    clock_hz: float
+    binding: str  # "software" or "accelerator"
+
+    @property
+    def verdict(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+    @property
+    def binding_cycles(self) -> float:
+        return max(self.wcet_cycles, self.accel_cycles, 1.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.verdict} {self.firmware}: wcet={self.wcet_cycles:.0f} "
+            f"(binding: {self.binding} {self.binding_cycles:.0f} cyc) vs "
+            f"budget={self.budget_cycles:.1f} cyc/pkt at "
+            f"{self.target_gbps:g} Gbps/{self.packet_size} B x "
+            f"{self.n_rpus} RPUs -> headroom {self.headroom_pct:+.1f}%, "
+            f"ceiling {self.ceiling_gbps:.1f} Gbps"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "firmware": self.firmware,
+            "verdict": self.verdict,
+            "passed": self.passed,
+            "wcet_cycles": self.wcet_cycles,
+            "accel_cycles": self.accel_cycles,
+            "budget_cycles": self.budget_cycles,
+            "headroom_pct": self.headroom_pct,
+            "ceiling_gbps": self.ceiling_gbps,
+            "target_gbps": self.target_gbps,
+            "packet_size": self.packet_size,
+            "n_rpus": self.n_rpus,
+            "clock_hz": self.clock_hz,
+            "binding": self.binding,
+        }
+
+
+def budget_verdict(
+    firmware: str,
+    wcet_cycles: float,
+    n_rpus: int,
+    packet_size: int,
+    target_gbps: float,
+    accel_cycles: float = 0.0,
+    clock_hz: float = ROSEBUD_CLOCK.freq_hz,
+) -> BudgetVerdict:
+    """Convert a WCET bound into a line-rate PASS/FAIL.
+
+    PASS iff the aggregate RPU service rate
+    (:func:`rpu_cycle_budget_pps`) meets the offered packet rate at
+    ``target_gbps`` — equivalently, iff the binding cycles/packet fit
+    inside :func:`cycle_budget_per_packet`.
+    """
+    budget = cycle_budget_per_packet(clock_hz, n_rpus, packet_size, target_gbps)
+    capacity_pps = rpu_cycle_budget_pps(clock_hz, n_rpus, wcet_cycles, accel_cycles)
+    target_pps = line_rate_pps(target_gbps, packet_size)
+    binding = max(wcet_cycles, accel_cycles, 1.0)
+    # one formula, two views: capacity >= offered  <=>  binding <= budget
+    passed = capacity_pps >= target_pps
+    return BudgetVerdict(
+        firmware=firmware,
+        passed=passed,
+        wcet_cycles=wcet_cycles,
+        accel_cycles=accel_cycles,
+        budget_cycles=budget,
+        headroom_pct=100.0 * (budget - binding) / budget if budget else 0.0,
+        ceiling_gbps=capacity_pps / line_rate_pps(1.0, packet_size),
+        target_gbps=target_gbps,
+        packet_size=packet_size,
+        n_rpus=n_rpus,
+        clock_hz=clock_hz,
+        binding="accelerator" if accel_cycles > wcet_cycles else "software",
+    )

@@ -1,0 +1,166 @@
+"""Engine pre-flight: verify an :class:`ExperimentSpec` before running.
+
+``run_experiment`` calls :func:`preflight_spec` when ``spec.verify`` is
+set.  The behavioural firmware class on the spec is mapped to its
+assembly twin in the registry, the twin's WCET bound is checked against
+the spec's (clock, RPUs, size, offered Gbps) operating point with the
+same centralized budget formula ``repro verify`` uses, and — when the
+spec enables the replay cache — the replay linter vets the firmware
+class.  A FAIL either warns (``verify="warn"``) or raises
+:class:`VerificationError` (``verify="fail"``/``True``) before any pool
+time is spent; sweep workers surface the raise as a per-point error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .budget import BudgetVerdict, budget_verdict
+from .cfg import Diagnostic
+from .registry import bundled_firmwares
+from .replaylint import CLASS_UNSAFE, ReplayLintReport, lint_firmware_class
+from .wcet import WcetReport, analyze_wcet
+
+
+class VerificationError(RuntimeError):
+    """A spec with ``verify="fail"`` failed static verification."""
+
+    def __init__(self, message: str, report: "PreflightReport" = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+#: Behavioural firmware class name -> bundled assembly twin whose WCET
+#: stands in for it.  Classes without a twin (NAT, chain stages) get an
+#: informational note instead of a budget verdict.
+FIRMWARE_ASM_TWINS: Dict[str, str] = {
+    "ForwarderFirmware": "forwarder",
+    "TwoStepForwarder": "forwarder",
+    "NicFirmware": "forwarder",
+    "FirewallFirmware": "firewall",
+    "PigasusHwReorderFirmware": "pigasus",
+    "PigasusSwReorderFirmware": "pigasus",
+}
+
+#: (asm name) -> (WcetReport, accel worst cycles fn input) cache; the
+#: CFG+WCET pass is pure so sweeps re-verify each point with arithmetic
+#: only.
+_WCET_CACHE: Dict[str, Tuple[WcetReport, Optional[object]]] = {}
+
+
+@dataclass
+class PreflightReport:
+    spec_name: str
+    firmware_cls: str
+    asm_twin: Optional[str] = None
+    verdict: Optional[BudgetVerdict] = None
+    lint: Optional[ReplayLintReport] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    lint_required: bool = False  # spec asked for the replay cache
+
+    @property
+    def failed(self) -> bool:
+        if self.verdict is not None and not self.verdict.passed:
+            return True
+        if (
+            self.lint_required
+            and self.lint is not None
+            and self.lint.classification == CLASS_UNSAFE
+        ):
+            return True
+        return False
+
+    def summary(self) -> str:
+        parts: List[str] = []
+        if self.verdict is not None:
+            parts.append(self.verdict.summary())
+        elif self.asm_twin is None:
+            parts.append(
+                f"{self.firmware_cls}: no assembly twin registered; "
+                "budget not statically checked"
+            )
+        if self.lint is not None:
+            parts.append(
+                f"replay lint: {self.lint.cls_name} is "
+                f"{self.lint.classification}"
+            )
+        return "; ".join(parts) or "nothing verified"
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_name": self.spec_name,
+            "firmware_cls": self.firmware_cls,
+            "asm_twin": self.asm_twin,
+            "failed": self.failed,
+            "verdict": self.verdict.to_dict() if self.verdict else None,
+            "lint": self.lint.to_dict() if self.lint else None,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _twin_wcet(asm_name: str):
+    """WCET report + accelerator instance for a registry firmware,
+    cached (the analysis is deterministic and spec-independent)."""
+    cached = _WCET_CACHE.get(asm_name)
+    if cached is not None:
+        return cached
+    from .cfg import analyze_source
+
+    fw = next(f for f in bundled_firmwares() if f.name == asm_name)
+    cfg = analyze_source(fw.asm, name=asm_name)
+    wcet = analyze_wcet(cfg, source=fw.asm)
+    accel = fw.accel_factory() if fw.accel_factory else None
+    _WCET_CACHE[asm_name] = (wcet, accel)
+    return wcet, accel
+
+
+def preflight_spec(spec) -> PreflightReport:
+    """Statically verify ``spec``; never raises — the caller decides
+    what a failure means (warn vs :class:`VerificationError`)."""
+    from .registry import _accel_worst_cycles
+
+    firmware = spec.firmware
+    cls = firmware if isinstance(firmware, type) else type(firmware)
+    cls_name = getattr(cls, "__name__", str(cls))
+    report = PreflightReport(
+        spec_name=spec.describe(), firmware_cls=cls_name,
+        lint_required=bool(spec.replay_cache),
+    )
+
+    twin = FIRMWARE_ASM_TWINS.get(cls_name)
+    if twin is not None:
+        report.asm_twin = twin
+        wcet, accel = _twin_wcet(twin)
+        report.verdict = budget_verdict(
+            firmware=f"{cls_name} (asm twin: {twin})",
+            wcet_cycles=wcet.wcet_cycles,
+            accel_cycles=_accel_worst_cycles(accel, spec.traffic.packet_size),
+            n_rpus=spec.config.n_rpus,
+            packet_size=spec.traffic.packet_size,
+            target_gbps=spec.traffic.offered_gbps,
+            clock_hz=spec.config.clock.freq_hz,
+        )
+    else:
+        report.diagnostics.append(
+            Diagnostic(
+                "note",
+                "no-asm-twin",
+                f"firmware {cls_name} has no registered assembly twin; "
+                "cycle budget not statically verified",
+                firmware=cls_name,
+            )
+        )
+
+    try:
+        report.lint = lint_firmware_class(cls)
+    except Exception:  # linting is best-effort on exotic callables
+        report.diagnostics.append(
+            Diagnostic(
+                "note",
+                "lint-skipped",
+                f"replay lint could not analyze {cls_name}",
+                firmware=cls_name,
+            )
+        )
+    return report

@@ -1,0 +1,276 @@
+"""AST linter: is a behavioural firmware replay-cacheable?
+
+``FirmwareReplayCache`` (PR 4) decides eligibility at runtime: a
+``FirmwareModel`` whose :meth:`replay_token` returns ``None`` is
+bypassed on every packet.  This linter makes the same call *statically*
+so eligibility is declared, not discovered mid-sweep:
+
+* ``replay-safe`` — overrides ``replay_token`` and ``process()`` (plus
+  every ``self.*()`` method it calls) performs no mutation beyond the
+  counter bumps the token contract explicitly allows
+  (``self.x += 1``-style integer adds on ``replay_owners``).
+* ``stateful`` — keeps the default ``replay_token`` (opting out); the
+  runtime cache bypasses it.  Mutations found are reported as evidence
+  the opt-out is correct.
+* ``unsafe`` — overrides ``replay_token`` (promising purity) **but**
+  the linter finds mutable attribute/subscript writes, container
+  mutators on ``self``-rooted state, or ``random``/``time`` use: the
+  promise is not credible and replaying would diverge.
+
+The differential test (``tests/test_replay_lint.py``) pins the linter's
+safe/stateful split to the observed runtime bypass behaviour for every
+bundled firmware.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..core.firmware_api import FirmwareModel
+
+#: Container methods that mutate their receiver.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "add", "discard", "update", "setdefault", "sort", "reverse",
+    }
+)
+
+#: Modules whose use inside ``process`` makes results non-replayable.
+_NONDETERMINISTIC = frozenset({"random", "secrets", "time", "datetime"})
+
+CLASS_REPLAY_SAFE = "replay-safe"
+CLASS_STATEFUL = "stateful"
+CLASS_UNSAFE = "unsafe"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    code: str
+    message: str
+    func: str
+    lineno: int  # within the method source
+
+    def format(self) -> str:
+        return f"[{self.code}] {self.func}:{self.lineno}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "func": self.func,
+            "lineno": self.lineno,
+        }
+
+
+@dataclass
+class ReplayLintReport:
+    cls_name: str
+    classification: str
+    token_overridden: bool
+    findings: List[LintFinding] = field(default_factory=list)
+    counter_bumps: int = 0  # allowed self.x += 1 style adds
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def cacheable(self) -> bool:
+        return self.classification == CLASS_REPLAY_SAFE
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.cls_name,
+            "classification": self.classification,
+            "token_overridden": self.token_overridden,
+            "findings": [f.to_dict() for f in self.findings],
+            "counter_bumps": self.counter_bumps,
+            "notes": self.notes,
+        }
+
+
+def _root_is_self(node: ast.expr) -> bool:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+class _MethodLinter(ast.NodeVisitor):
+    def __init__(self, func_name: str) -> None:
+        self.func_name = func_name
+        self.findings: List[LintFinding] = []
+        self.counter_bumps = 0
+        self.self_calls: Set[str] = set()
+
+    def _finding(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            LintFinding(code, message, self.func_name, getattr(node, "lineno", 0))
+        )
+
+    def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, node)
+        elif isinstance(target, ast.Attribute):
+            self._finding(
+                "attribute-write",
+                f"assigns attribute '{ast.unparse(target)}'",
+                node,
+            )
+        elif isinstance(target, ast.Subscript):
+            self._finding(
+                "subscript-write",
+                f"assigns subscript '{ast.unparse(target)}'",
+                node,
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Attribute):
+            if isinstance(node.op, ast.Add) and _root_is_self(target):
+                # the one mutation the replay_token contract allows:
+                # integer counter bumps, diffed/re-applied by the cache
+                self.counter_bumps += 1
+            else:
+                self._finding(
+                    "attribute-write",
+                    f"augmented-assigns attribute '{ast.unparse(target)}'",
+                    node,
+                )
+        elif isinstance(target, ast.Subscript):
+            self._finding(
+                "subscript-write",
+                f"augmented-assigns subscript '{ast.unparse(target)}'",
+                node,
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.helper(...) -> analyze transitively
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                self.self_calls.add(func.attr)
+            elif func.attr in _MUTATORS and _root_is_self(func.value):
+                self._finding(
+                    "container-mutation",
+                    f"calls mutator '.{func.attr}()' on "
+                    f"'{ast.unparse(func.value)}'",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in _NONDETERMINISTIC:
+            self._finding(
+                "nondeterminism",
+                f"uses module '{node.id}' (results not replayable)",
+                node,
+            )
+        self.generic_visit(node)
+
+
+def _method_ast(cls: type, name: str) -> Optional[ast.AST]:
+    func = getattr(cls, name, None)
+    if func is None or not callable(func):
+        return None
+    func = inspect.unwrap(func)
+    if not hasattr(func, "__code__"):
+        return None  # builtin / C-level
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        return ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+
+
+def lint_firmware_class(cls) -> ReplayLintReport:
+    """Classify one :class:`FirmwareModel` subclass (or instance)."""
+    if not isinstance(cls, type):
+        cls = type(cls)
+    token_overridden = cls.replay_token is not FirmwareModel.replay_token
+
+    findings: List[LintFinding] = []
+    counter_bumps = 0
+    notes: List[str] = []
+
+    visited: Set[str] = set()
+    queue = ["process"]
+    while queue:
+        name = queue.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        tree = _method_ast(cls, name)
+        if tree is None:
+            if name == "process":
+                notes.append("process() source unavailable; structural "
+                             "checks skipped")
+            continue
+        linter = _MethodLinter(name)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+        counter_bumps += linter.counter_bumps
+        queue.extend(linter.self_calls - visited)
+
+    if not token_overridden:
+        classification = CLASS_STATEFUL
+        if not findings:
+            notes.append(
+                "no mutations found, but replay_token is not overridden: "
+                "the cache bypasses this firmware (add a token to opt in)"
+            )
+    elif findings:
+        classification = CLASS_UNSAFE
+    else:
+        classification = CLASS_REPLAY_SAFE
+
+    return ReplayLintReport(
+        cls_name=cls.__name__,
+        classification=classification,
+        token_overridden=token_overridden,
+        findings=findings,
+        counter_bumps=counter_bumps,
+        notes=notes,
+    )
+
+
+def bundled_firmware_classes() -> List[type]:
+    """Every behavioural ``FirmwareModel`` the repo ships."""
+    from ..firmware import (
+        ChainStageFirmware,
+        FirewallFirmware,
+        ForwarderFirmware,
+        NatFirmware,
+        NicFirmware,
+        PigasusHwReorderFirmware,
+        PigasusSwReorderFirmware,
+        TwoStepForwarder,
+    )
+
+    return [
+        ForwarderFirmware,
+        NicFirmware,
+        TwoStepForwarder,
+        FirewallFirmware,
+        NatFirmware,
+        PigasusHwReorderFirmware,
+        PigasusSwReorderFirmware,
+        ChainStageFirmware,
+    ]
+
+
+def lint_all_models() -> List[ReplayLintReport]:
+    return [lint_firmware_class(cls) for cls in bundled_firmware_classes()]

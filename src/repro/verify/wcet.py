@@ -1,0 +1,528 @@
+"""Worst-case cycles-per-packet bounds over a firmware CFG.
+
+The bound is computed the way classic IPET-free WCET analyzers do it on
+reducible loop nests:
+
+1. find the **packet loop** — the outermost natural loop that touches
+   the interconnect window (every bundled firmware's ``loop:``),
+2. collapse each nested loop into a supernode costing
+   ``bound x iteration-WCET`` (bounds come from ``# loop-bound N``
+   annotations in the assembly source, or a conservative default),
+3. take the longest path through the resulting DAG from the loop
+   header back around any back edge.
+
+Costs come from the same :class:`repro.riscv.CycleModel` cost table
+the ISS retires with, and block boundaries from the same
+:mod:`repro.riscv.blocks` rules the translator fuses with — so the
+static bound and the dynamic measurement can only diverge in the sound
+direction (the analyzer assumes every branch takes its worst edge and
+every inner loop runs to its bound).
+
+Soundness caveats are documented in ``docs/STATIC_ANALYSIS.md``:
+``jalr`` targets are not followed (flagged as a diagnostic), and
+unannotated inner loops get :data:`DEFAULT_LOOP_BOUND` with a warning
+rather than a proof.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..riscv.blocks import BRANCH_MNEMONICS
+from ..riscv.cpu import CycleModel
+from .cfg import BasicBlock, Diagnostic, FirmwareCfg, Loop
+
+_MASK32 = 0xFFFFFFFF
+
+#: Iteration cap assumed for inner loops without a ``# loop-bound N``
+#: annotation.  Deliberately conservative: an unannotated drain loop is
+#: charged 64 iterations per packet (and flagged).
+DEFAULT_LOOP_BOUND = 64
+
+#: Cycles ``RiscvCpu._take_interrupt`` charges before the first handler
+#: instruction retires (trap entry latency).
+TRAP_ENTRY_CYCLES = 3
+
+
+# -- loop-bound annotations ---------------------------------------------------
+
+_BOUND_RE = re.compile(r"#\s*loop-bound\s+(\d+)")
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:")
+
+
+def parse_loop_bounds(source: str) -> Dict[str, int]:
+    """``{label: bound}`` from ``# loop-bound N`` annotations.
+
+    An annotation applies to the loop whose header label it shares a
+    line with, or — when written on its own line — to the next label::
+
+        drain:                  # loop-bound 8
+        # loop-bound 8
+        drain:
+    """
+    bounds: Dict[str, int] = {}
+    pending: Optional[int] = None
+    for line in source.splitlines():
+        bound = _BOUND_RE.search(line)
+        label = _LABEL_RE.match(line)
+        if label and bound:
+            bounds[label.group(1)] = int(bound.group(1))
+            pending = None
+        elif label and pending is not None:
+            bounds[label.group(1)] = pending
+            pending = None
+        elif bound:
+            pending = int(bound.group(1))
+        elif line.strip():
+            pending = None
+    return bounds
+
+
+# -- report structures --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One node of the critical path: a block, or a collapsed loop."""
+
+    pc: int
+    where: str  # human-readable, e.g. "loop(0x18)" or "loop drain(0x54) x8"
+    cycles: float  # this node's contribution to the bound
+
+    def to_dict(self) -> dict:
+        return {"pc": self.pc, "where": self.where, "cycles": self.cycles}
+
+
+@dataclass
+class WcetReport:
+    name: str
+    wcet_cycles: float  # worst-case cycles per packet (sw path)
+    packet_loop: Optional[int]  # header pc of the per-packet loop
+    critical_path: List[CriticalStep] = field(default_factory=list)
+    handlers: Dict[str, float] = field(default_factory=dict)
+    loop_bounds: Dict[str, int] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def chain(self) -> str:
+        return " -> ".join(step.where for step in self.critical_path)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wcet_cycles": self.wcet_cycles,
+            "packet_loop": self.packet_loop,
+            "critical_path": [s.to_dict() for s in self.critical_path],
+            "handlers": self.handlers,
+            "loop_bounds": self.loop_bounds,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class IrreducibleCfgError(Exception):
+    """The loop nest cannot be collapsed into a DAG (irreducible
+    control flow, or loops sharing bodies without nesting)."""
+
+
+# -- the analyzer -------------------------------------------------------------
+
+
+class _Wcet:
+    def __init__(
+        self,
+        cfg: FirmwareCfg,
+        cycle_model: CycleModel,
+        bounds_by_label: Dict[str, int],
+    ) -> None:
+        self.cfg = cfg
+        self.costs = cycle_model.cost_table()
+        self.taken = cycle_model.branch_taken_cost
+        self.diags: List[Diagnostic] = []
+        self.used_bounds: Dict[str, int] = {}
+        #: loop header pc -> iteration bound
+        self.bounds: Dict[int, int] = {}
+        for header in cfg.loops:
+            label = cfg.label_at(header)
+            if label is not None and label in bounds_by_label:
+                self.bounds[header] = bounds_by_label[label]
+
+    # node/edge costs ------------------------------------------------------
+
+    def body_cost(self, block: BasicBlock) -> int:
+        """Cost of every instruction but the last (that one is charged
+        on the out-edge, where taken/not-taken is known)."""
+        return sum(self.costs[i.cost_class] for i in block.insts[:-1])
+
+    def exit_cost(self, block: BasicBlock) -> int:
+        """Cost of the last instruction when the path *ends* here
+        (ebreak, mret, or a sink)."""
+        last = block.last
+        return self.costs[last.cost_class] if last is not None else 0
+
+    def edge_cost(self, block: BasicBlock, succ: int) -> int:
+        last = block.last
+        if last is None:
+            return 0
+        if last.mnemonic in BRANCH_MNEMONICS and block.end_reason == "terminal":
+            target = (block.pcs[-1] + last.imm) & _MASK32
+            fall = (block.pcs[-1] + 4) & _MASK32
+            if target == fall:
+                return self.taken  # degenerate: both edges identical
+            if succ == target:
+                return self.taken
+            if succ == fall:
+                return self.costs[last.cost_class]
+        return self.costs[last.cost_class]
+
+    def bound_for(self, header: int) -> int:
+        bound = self.bounds.get(header)
+        label = self.cfg.label_at(header) or f"0x{header:x}"
+        if bound is None:
+            bound = DEFAULT_LOOP_BOUND
+            self.diags.append(
+                Diagnostic(
+                    "warning",
+                    "unannotated-loop",
+                    f"inner loop at {self.cfg.describe(header)} has no "
+                    f"'# loop-bound N' annotation; assuming {bound} "
+                    "iterations per packet",
+                    pc=header,
+                    firmware=self.cfg.name,
+                )
+            )
+        self.used_bounds[label] = bound
+        return bound
+
+    # loop collapse --------------------------------------------------------
+
+    def immediate_children(self, loop: Loop) -> List[Loop]:
+        """Outermost loops strictly nested inside ``loop``."""
+        nested = [
+            other
+            for other in self.cfg.loops.values()
+            if other.header != loop.header and other.header in loop.body
+        ]
+        return [
+            child
+            for child in nested
+            if not any(
+                child.header in mid.body and mid.header != child.header
+                for mid in nested
+            )
+        ]
+
+    def iteration_wcet(self, loop: Loop) -> Tuple[float, List[CriticalStep]]:
+        """Worst-case cycles for one full iteration of ``loop``
+        (header back around the costliest back edge), with nested loops
+        collapsed at their bounds."""
+        children = self.immediate_children(loop)
+        child_of: Dict[int, Loop] = {}
+        for child in children:
+            for node in child.body:
+                child_of[node] = child
+        if loop.header in child_of:
+            raise IrreducibleCfgError(
+                f"loop {self.cfg.describe(loop.header)} header sits inside "
+                "a nested loop body"
+            )
+
+        # collapsed node id: block pc, or child-loop header pc
+        def rep(node: int) -> int:
+            child = child_of.get(node)
+            return child.header if child else node
+
+        nodes: Set[int] = {rep(n) for n in loop.body}
+        edges: Dict[int, List[Tuple[int, float]]] = {n: [] for n in nodes}
+        back_sources = {tail for tail, _ in loop.back_edges}
+        for node in loop.body:
+            block = self.cfg.blocks[node]
+            for succ in block.successors:
+                if succ not in loop.body:
+                    continue  # loop exit: charged by the caller
+                if succ == loop.header and node in back_sources:
+                    continue  # the back edge closes the iteration
+                ru, rv = rep(node), rep(succ)
+                if ru == rv:
+                    continue  # internal to one collapsed child
+                edges[ru].append((rv, self.edge_cost(block, succ)))
+
+        weights: Dict[int, float] = {}
+        notes: Dict[int, str] = {}
+        for n in nodes:
+            child = child_of.get(n)
+            if child is not None:
+                bound = self.bound_for(child.header)
+                inner, _ = self.iteration_wcet(child)
+                weights[n] = bound * inner
+                notes[n] = (
+                    f"loop {self.cfg.describe(child.header)} x{bound}"
+                )
+            else:
+                weights[n] = float(self.body_cost(self.cfg.blocks[n]))
+                notes[n] = self.cfg.describe(n)
+
+        best = -1.0
+        best_path: List[CriticalStep] = []
+        for tail, header in loop.back_edges:
+            close = self.edge_cost(self.cfg.blocks[tail], header)
+            cycles, path = _longest_path(
+                loop.header, rep(tail), nodes, edges, weights, notes
+            )
+            if cycles < 0:
+                continue  # tail unreachable without re-crossing header
+            total = cycles + close
+            if total > best:
+                best = total
+                best_path = path
+        if best < 0:
+            raise IrreducibleCfgError(
+                f"no path from header {self.cfg.describe(loop.header)} to "
+                "any back edge"
+            )
+        return best, best_path
+
+    # whole-region (non-loop) paths ----------------------------------------
+
+    def region_wcet(
+        self, root: int, nodes: Set[int]
+    ) -> Tuple[float, List[CriticalStep]]:
+        """Longest path from ``root`` to any sink within ``nodes``,
+        collapsing loops fully contained in the region."""
+        contained = [
+            lp for lp in self.cfg.loops.values() if lp.body <= nodes
+        ]
+        outer = [
+            lp
+            for lp in contained
+            if not any(
+                lp.header in other.body and other.header != lp.header
+                for other in contained
+            )
+        ]
+        loop_of: Dict[int, Loop] = {}
+        for lp in outer:
+            for node in lp.body:
+                loop_of[node] = lp
+
+        def rep(node: int) -> int:
+            lp = loop_of.get(node)
+            return lp.header if lp else node
+
+        rnodes = {rep(n) for n in nodes}
+        edges: Dict[int, List[Tuple[int, float]]] = {n: [] for n in rnodes}
+        weights: Dict[int, float] = {}
+        notes: Dict[int, str] = {}
+        sink_extra: Dict[int, float] = {}
+        for n in rnodes:
+            lp = loop_of.get(n)
+            if lp is not None:
+                bound = self.bound_for(lp.header)
+                inner, _ = self.iteration_wcet(lp)
+                weights[n] = bound * inner
+                notes[n] = f"loop {self.cfg.describe(lp.header)} x{bound}"
+            else:
+                block = self.cfg.blocks[n]
+                weights[n] = float(self.body_cost(block))
+                notes[n] = self.cfg.describe(n)
+                if not block.successors:
+                    sink_extra[n] = float(self.exit_cost(block))
+        for node in nodes:
+            block = self.cfg.blocks[node]
+            lp = loop_of.get(node)
+            for succ in block.successors:
+                if succ not in nodes:
+                    continue
+                if lp is not None and succ in lp.body:
+                    continue  # internal to a collapsed loop
+                edges[rep(node)].append((rep(succ), self.edge_cost(block, succ)))
+
+        best = 0.0
+        best_path: List[CriticalStep] = []
+        for sink in rnodes:
+            if edges[sink] and sink not in sink_extra:
+                continue
+            cycles, path = _longest_path(
+                rep(root), sink, rnodes, edges, weights, notes
+            )
+            if cycles < 0:
+                continue
+            cycles += sink_extra.get(sink, 0.0)
+            if cycles > best:
+                best = cycles
+                best_path = path
+        return best, best_path
+
+
+def _longest_path(
+    src: int,
+    dst: int,
+    nodes: Set[int],
+    edges: Dict[int, List[Tuple[int, float]]],
+    weights: Dict[int, float],
+    notes: Dict[int, str],
+) -> Tuple[float, List[CriticalStep]]:
+    """Longest ``src -> dst`` path in a DAG (node + edge weights).
+    Returns ``(-1, [])`` when ``dst`` is unreachable; raises
+    :class:`IrreducibleCfgError` on a cycle."""
+    memo: Dict[int, Tuple[float, Optional[Tuple[int, float]]]] = {}
+    on_stack: Set[int] = set()
+
+    def visit(node: int) -> float:
+        if node == dst:
+            memo[node] = (weights[node], None)
+            return weights[node]
+        cached = memo.get(node)
+        if cached is not None:
+            return cached[0]
+        if node in on_stack:
+            raise IrreducibleCfgError("cycle survived loop collapse")
+        on_stack.add(node)
+        best = -1.0
+        best_next: Optional[Tuple[int, float]] = None
+        for succ, ecost in edges.get(node, ()):
+            if succ not in nodes:
+                continue
+            sub = visit(succ)
+            if sub < 0:
+                continue
+            total = weights[node] + ecost + sub
+            if total > best:
+                best = total
+                best_next = (succ, ecost)
+        on_stack.discard(node)
+        memo[node] = (best, best_next)
+        return best
+
+    total = visit(src)
+    if total < 0:
+        return -1.0, []
+    path: List[CriticalStep] = []
+    node: Optional[int] = src
+    while node is not None:
+        entry = memo[node]
+        path.append(CriticalStep(pc=node, where=notes[node], cycles=weights[node]))
+        nxt = entry[1]
+        node = nxt[0] if nxt else None
+    return total, path
+
+
+def analyze_wcet(
+    cfg: FirmwareCfg,
+    cycle_model: Optional[CycleModel] = None,
+    source: Optional[str] = None,
+) -> WcetReport:
+    """Worst-case cycles-per-packet bound for ``cfg``.
+
+    ``source`` (the assembly text) supplies ``# loop-bound N``
+    annotations; without it every inner loop falls back to
+    :data:`DEFAULT_LOOP_BOUND`.
+    """
+    cm = cycle_model or CycleModel.vexriscv_full()
+    bounds = parse_loop_bounds(source) if source else {}
+    w = _Wcet(cfg, cm, bounds)
+    report = WcetReport(name=cfg.name, wcet_cycles=0.0, packet_loop=None)
+
+    # the packet loop: outermost loop touching the interconnect window
+    io_pcs = {
+        acc.pc for acc in cfg.accesses if acc.region == "interconnect"
+    }
+    outermost = [
+        lp
+        for lp in cfg.loops.values()
+        if not any(
+            lp.header in other.body and other.header != lp.header
+            for other in cfg.loops.values()
+        )
+    ]
+    candidates = [
+        lp
+        for lp in outermost
+        if any(
+            pc in io_pcs
+            for node in lp.body
+            for pc in cfg.blocks[node].pcs
+        )
+    ]
+
+    try:
+        if candidates:
+            best = -1.0
+            for lp in candidates:
+                cycles, path = w.iteration_wcet(lp)
+                if cycles > best:
+                    best = cycles
+                    report.packet_loop = lp.header
+                    report.critical_path = path
+            report.wcet_cycles = best
+            if len(candidates) > 1:
+                w.diags.append(
+                    Diagnostic(
+                        "note",
+                        "multiple-packet-loops",
+                        f"{len(candidates)} outermost loops touch the "
+                        "interconnect; reporting the costliest",
+                        firmware=cfg.name,
+                    )
+                )
+        else:
+            # straight-line firmware (or loops never touch the
+            # interconnect): bound the entry-to-halt path instead
+            main_nodes = _reachable_blocks(cfg, cfg.entry)
+            cycles, path = w.region_wcet(cfg.entry, main_nodes)
+            report.wcet_cycles = cycles
+            report.critical_path = path
+            w.diags.append(
+                Diagnostic(
+                    "note",
+                    "no-packet-loop",
+                    "no loop touches the interconnect window; bounding "
+                    "the entry-to-halt path as the per-packet cost",
+                    firmware=cfg.name,
+                )
+            )
+    except IrreducibleCfgError as exc:
+        report.wcet_cycles = float("inf")
+        w.diags.append(
+            Diagnostic(
+                "error",
+                "irreducible-cfg",
+                f"cannot bound the packet loop: {exc}",
+                firmware=cfg.name,
+            )
+        )
+
+    # trap handlers, separately: entry latency + longest path to mret
+    for root in cfg.entries[1:]:
+        label = cfg.label_at(root) or f"0x{root:x}"
+        try:
+            nodes = _reachable_blocks(cfg, root)
+            cycles, _ = w.region_wcet(root, nodes)
+            report.handlers[label] = TRAP_ENTRY_CYCLES + cycles
+        except IrreducibleCfgError as exc:
+            report.handlers[label] = float("inf")
+            w.diags.append(
+                Diagnostic(
+                    "error",
+                    "irreducible-cfg",
+                    f"cannot bound handler '{label}': {exc}",
+                    pc=root,
+                    firmware=cfg.name,
+                )
+            )
+
+    report.loop_bounds = dict(w.used_bounds)
+    report.diagnostics = w.diags
+    return report
+
+
+def _reachable_blocks(cfg: FirmwareCfg, root: int) -> Set[int]:
+    seen: Set[int] = set()
+    work = [root]
+    while work:
+        node = work.pop()
+        if node in seen or node not in cfg.blocks:
+            continue
+        seen.add(node)
+        work.extend(cfg.blocks[node].successors)
+    return seen

@@ -56,3 +56,69 @@ class TestImageCommand:
 
     def test_unknown_firmware(self, capsys):
         assert main(["image", "bogus"]) == 1
+
+
+class TestVerifyCommand:
+    def test_acceptance_point_passes(self, capsys):
+        assert main([
+            "verify", "--fw", "firewall",
+            "--rpus", "16", "--size", "512", "--gbps", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS firewall" in out
+        assert "headroom" in out
+        assert "critical path:" in out and "->" in out
+
+    def test_infeasible_point_fails(self, capsys):
+        assert main([
+            "verify", "--fw", "firewall", "--size", "64", "--gbps", "400",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL firewall" in out
+
+    def test_unknown_firmware_exits_2(self, capsys):
+        assert main(["verify", "--fw", "bogus"]) == 2
+        assert main(["verify"]) == 2
+
+    def test_all_prints_table(self, capsys):
+        assert main(["verify", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "static verification" in out
+        for name in ("forwarder", "firewall", "pigasus", "pkt_gen"):
+            assert name in out
+
+    def test_json_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "verify.json"
+        assert main(["verify", "--all", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-verify/1"
+        assert payload["passed"] is True
+        assert len(payload["reports"]) == 6
+        report = payload["reports"][0]
+        for key in ("name", "point", "passed", "verdict", "wcet", "mmio",
+                    "max_stack_bytes", "lint", "diagnostics"):
+            assert key in report, key
+        verdict = report["verdict"]
+        for key in ("wcet_cycles", "budget_cycles", "headroom_pct",
+                    "ceiling_gbps", "binding"):
+            assert key in verdict, key
+
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        assert main(["verify", "--fw", "forwarder", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["name"] == "forwarder"
+
+    def test_no_default_leak_into_other_subcommands(self, capsys):
+        # verify overrides rpus/size/gbps defaults to None on its own
+        # fresh common parser; profile must still see the real defaults
+        # (the PR-3 chaos default-leak regression, re-pinned here)
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["profile"])
+        assert (args.rpus, args.size, args.gbps) == (16, 512, 200.0)
+        vargs = build_parser().parse_args(["verify", "--all"])
+        assert (vargs.rpus, vargs.size, vargs.gbps) == (None, None, None)

@@ -1,0 +1,220 @@
+"""Replay linter vs the runtime cache: the differential contract.
+
+The linter's classification must agree with what
+:class:`FirmwareReplayCache` actually does at runtime: ``replay-safe``
+firmwares get cached (hits accumulate), ``stateful`` ones are bypassed
+on every packet.  ``unsafe`` means the linter caught a firmware
+promising a token while mutating state the token cannot cover — the
+case the static check exists to catch *before* a sweep silently
+diverges.
+"""
+
+import random
+
+import pytest
+
+from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
+from repro.core.firmware_api import ACTION_FORWARD, FirmwareModel, FirmwareResult
+from repro.firmware import (
+    FirewallFirmware,
+    ForwarderFirmware,
+    TwoStepForwarder,
+)
+from repro.packet import Packet, build_tcp
+from repro.replay import FirmwareReplayCache
+from repro.verify import (
+    CLASS_REPLAY_SAFE,
+    CLASS_STATEFUL,
+    CLASS_UNSAFE,
+    bundled_firmware_classes,
+    lint_all_models,
+    lint_firmware_class,
+)
+
+
+def _packet(key="k"):
+    packet = Packet(build_tcp("10.0.0.1", "10.0.0.2", 1000, 80, pad_to=64).data)
+    packet.class_key = key
+    return packet
+
+
+def _instantiate(cls):
+    """Build each bundled firmware the way its tests do."""
+    if cls is FirewallFirmware:
+        return cls(IpBlacklistMatcher(parse_blacklist(generate_blacklist(8))))
+    if cls is TwoStepForwarder:
+        return cls(n_rpus=4)
+    if cls.__name__.startswith("Pigasus"):
+        from repro.accel.pigasus import generate_ruleset, parse_rules
+
+        return cls(parse_rules(generate_ruleset(4)))
+    if cls.__name__ == "ChainStageFirmware":
+        return cls(ForwarderFirmware(), next_rpu=None)
+    return cls()
+
+
+class TestBundledClassifications:
+    """The linter's call on every shipped behavioural firmware."""
+
+    EXPECTED = {
+        "ForwarderFirmware": CLASS_REPLAY_SAFE,
+        "NicFirmware": CLASS_STATEFUL,
+        "TwoStepForwarder": CLASS_REPLAY_SAFE,
+        "FirewallFirmware": CLASS_REPLAY_SAFE,
+        "NatFirmware": CLASS_STATEFUL,
+        "PigasusHwReorderFirmware": CLASS_STATEFUL,
+        "PigasusSwReorderFirmware": CLASS_STATEFUL,
+        "ChainStageFirmware": CLASS_STATEFUL,
+    }
+
+    def test_every_bundled_model_classified(self):
+        reports = {r.cls_name: r for r in lint_all_models()}
+        assert set(reports) == set(self.EXPECTED)
+        for name, expected in self.EXPECTED.items():
+            assert reports[name].classification == expected, (
+                name, reports[name].findings,
+            )
+
+    def test_no_bundled_model_is_unsafe(self):
+        # unsafe = broken token promise; the repo must never ship one
+        assert all(
+            r.classification != CLASS_UNSAFE for r in lint_all_models()
+        )
+
+    def test_classification_matches_token_override(self):
+        for report in lint_all_models():
+            assert report.cacheable == (
+                report.token_overridden and not report.findings
+            )
+
+
+class TestRuntimeDifferential:
+    """lint says replay-safe  <=>  the runtime cache caches it."""
+
+    @pytest.mark.parametrize("cls", bundled_firmware_classes(),
+                             ids=lambda c: c.__name__)
+    def test_lint_agrees_with_cache_bypass(self, cls):
+        firmware = _instantiate(cls)
+        report = lint_firmware_class(cls)
+        cache = FirmwareReplayCache()
+        for _ in range(3):
+            cache.execute(firmware, _packet(), rpu_index=0)
+        if report.cacheable:
+            # same packet class: first call misses, rest hit
+            assert cache.stats.bypasses == 0, report.to_dict()
+            assert cache.stats.hits >= 1
+        else:
+            # runtime agrees the firmware opted out: every call bypasses
+            assert cache.stats.hits == 0, report.to_dict()
+            assert cache.stats.bypasses == 3
+
+    def test_runtime_token_is_none_iff_lint_stateful(self):
+        for cls in bundled_firmware_classes():
+            firmware = _instantiate(cls)
+            report = lint_firmware_class(cls)
+            if report.classification == CLASS_STATEFUL:
+                assert firmware.replay_token() is None, cls.__name__
+            else:
+                assert firmware.replay_token() is not None, cls.__name__
+
+
+class _UnsafeTokenFirmware(FirmwareModel):
+    """Promises a token but stashes the packet — the lie the linter
+    exists to catch."""
+
+    def replay_token(self):
+        return ("unsafe", 0)
+
+    def process(self, packet, rpu_index):
+        self.last_packet = packet  # mutation a token can't cover
+        return FirmwareResult(ACTION_FORWARD, sw_cycles=10)
+
+
+class _CounterBumpFirmware(FirmwareModel):
+    """Counter bumps are the one mutation the token contract allows."""
+
+    def __init__(self):
+        self.forwarded = 0
+
+    def replay_token(self):
+        return ("counter", 0)
+
+    def process(self, packet, rpu_index):
+        self.forwarded += 1
+        return FirmwareResult(ACTION_FORWARD, sw_cycles=10)
+
+
+class _RandomFirmware(FirmwareModel):
+    def replay_token(self):
+        return ("rng", 0)
+
+    def process(self, packet, rpu_index):
+        return FirmwareResult(
+            ACTION_FORWARD, sw_cycles=10, egress_port=random.randrange(2)
+        )
+
+
+class _ContainerMutator(FirmwareModel):
+    def __init__(self):
+        self.seen = []
+
+    def replay_token(self):
+        return ("mut", 0)
+
+    def process(self, packet, rpu_index):
+        self.seen.append(packet.flow_hash)
+        return FirmwareResult(ACTION_FORWARD, sw_cycles=10)
+
+
+class TestCraftedClasses:
+    def test_attribute_write_is_unsafe(self):
+        report = lint_firmware_class(_UnsafeTokenFirmware)
+        assert report.classification == CLASS_UNSAFE
+        assert any(f.code == "attribute-write" for f in report.findings)
+
+    def test_counter_bump_is_allowed(self):
+        report = lint_firmware_class(_CounterBumpFirmware)
+        assert report.classification == CLASS_REPLAY_SAFE
+        assert report.counter_bumps == 1
+
+    def test_nondeterminism_is_unsafe(self):
+        report = lint_firmware_class(_RandomFirmware)
+        assert report.classification == CLASS_UNSAFE
+        assert any(f.code == "nondeterminism" for f in report.findings)
+
+    def test_container_mutation_is_unsafe(self):
+        report = lint_firmware_class(_ContainerMutator)
+        assert report.classification == CLASS_UNSAFE
+        assert any(f.code == "container-mutation" for f in report.findings)
+
+    def test_counter_bumps_replay_correctly(self):
+        # the allowed mutation really is replay-equivalent: counter
+        # totals match between cached and uncached runs
+        cached = _CounterBumpFirmware()
+        plain = _CounterBumpFirmware()
+        cache = FirmwareReplayCache()
+        for _ in range(5):
+            cache.execute(cached, _packet(), rpu_index=0)
+            plain.process(_packet(), rpu_index=0)
+        assert cache.stats.hits == 4
+        assert cached.forwarded == plain.forwarded == 5
+
+    def test_transitive_helper_mutation_found(self):
+        class _Indirect(FirmwareModel):
+            def replay_token(self):
+                return ("t", 0)
+
+            def _stash(self, packet):
+                self.last = packet
+
+            def process(self, packet, rpu_index):
+                self._stash(packet)
+                return FirmwareResult(ACTION_FORWARD, sw_cycles=1)
+
+        report = lint_firmware_class(_Indirect)
+        assert report.classification == CLASS_UNSAFE
+        assert any(f.func == "_stash" for f in report.findings)
+
+    def test_instance_accepted_too(self):
+        report = lint_firmware_class(_CounterBumpFirmware())
+        assert report.classification == CLASS_REPLAY_SAFE
