@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache verify-fw ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache serve-smoke verify-fw ci lint examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -45,10 +45,19 @@ verify-fw:
 	PYTHONPATH=src $(PYTHON) -m repro.cli verify --all
 	PYTHONPATH=src $(PYTHON) benchmarks/verify_probe.py
 
+# Online serving-mode smoke: replay the scripted scenario (hot
+# reconfig + watchdog recovery under live traffic; any error reply
+# fails), then bound the stepper's overhead over the batch engine.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve \
+		--script examples/serve_session.jsonl --check > /dev/null
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_probe.py
+
 # Everything the GitHub workflow runs, in one local command.
 ci: lint verify-fw
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_CI=1 $(MAKE) bench-smoke
+	REPRO_CI=1 $(MAKE) serve-smoke
 
 # ISS backend probe on its own (interp vs closure-translated fast path)
 bench-cpu:

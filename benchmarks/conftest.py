@@ -40,6 +40,11 @@ FLOOR_REPLAY_HIT_RATE = 0.9
 #: bundled firmware (CFG + WCET + MMIO + lint).  The analyzer must stay
 #: cheap enough to run as a pre-flight on every sweep.
 FLOOR_VERIFY_SECONDS = 20.0 if REPRO_CI else 5.0
+#: serve_probe.py: ceiling on the incremental stepper's wall-clock
+#: overhead over the batch run_experiment path for the same spec
+#: (results must be byte-identical; only the pump-per-event bookkeeping
+#: may cost anything).  0.10 = at most 10% slower locally.
+FLOOR_SERVE_OVERHEAD = 0.50 if REPRO_CI else 0.10
 
 
 @pytest.fixture(scope="session")
@@ -52,6 +57,7 @@ def perf_floors():
         "replay_speedup": FLOOR_REPLAY_SPEEDUP,
         "replay_hit_rate": FLOOR_REPLAY_HIT_RATE,
         "verify_seconds": FLOOR_VERIFY_SECONDS,
+        "serve_overhead": FLOOR_SERVE_OVERHEAD,
     }
 
 

@@ -9,7 +9,8 @@ bottleneck; the resource side is checked against the PR-region model.
 """
 
 
-from repro.analysis import format_table, measure_throughput, software_limit_mpps
+from repro import SimSession
+from repro.analysis import format_table, software_limit_mpps
 from repro.core import RosebudConfig, RosebudSystem
 from repro.firmware import ForwarderFirmware, PigasusHwReorderFirmware
 from repro.hw import PIGASUS_ACCEL, components_for
@@ -27,8 +28,8 @@ def _ips_point(ids_rules, n_rpus, size):
                           respect_generator_cap=False)
         for port in range(2)
     ]
-    return measure_throughput(system, sources, size, 200.0,
-                              warmup_packets=700, measure_packets=2500)
+    return SimSession.for_system(system, sources).measure_throughput(
+        size, 200.0, warmup_packets=700, measure_packets=2500)
 
 
 def test_ablation_pigasus_rpu_count(benchmark, emit, ids_rules):
@@ -82,8 +83,8 @@ def test_ablation_imix_workload(benchmark, emit):
                            respect_generator_cap=False)
                 for port in range(2)
             ]
-            result = measure_throughput(system, sources, 353, 200.0,
-                                        warmup_packets=1000, measure_packets=4000)
+            result = SimSession.for_system(system, sources).measure_throughput(
+                353, 200.0, warmup_packets=1000, measure_packets=4000)
             rows.append([label, result.achieved_gbps, result.achieved_mpps])
         return rows
 

@@ -8,7 +8,8 @@ FIFO depth.
 
 import pytest
 
-from repro.analysis import format_table, measure_latency, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.core import (
     BroadcastSystem,
     HashLB,
@@ -30,8 +31,8 @@ def _throughput(config, size, gbps_total, firmware=None, lb=None, n_flows=64,
                         seed=port + 1, respect_generator_cap=False)
         for port in range(2)
     ]
-    return measure_throughput(system, sources, size, gbps_total,
-                              warmup_packets=warmup, measure_packets=measure)
+    return SimSession.for_system(system, sources).measure_throughput(
+        size, gbps_total, warmup_packets=warmup, measure_packets=measure)
 
 
 def test_ablation_lb_policies_under_skew(benchmark, emit):
@@ -77,7 +78,8 @@ def test_ablation_rpu_link_width(benchmark, emit):
             config = RosebudConfig(n_rpus=16, rpu_bus_bits=bits)
             system = RosebudSystem(config, ForwarderFirmware())
             sources = [FixedSizeSource(system, p, 1.0, 1500) for p in range(2)]
-            hist = measure_latency(system, sources, warmup_packets=30, measure_packets=150)
+            hist = SimSession.for_system(system, sources).measure_latency(
+                warmup_packets=30, measure_packets=150)
             rows.append([bits, bits * 0.25, hist.mean])
         return rows
 
@@ -183,8 +185,8 @@ def test_ablation_chained_vs_monolithic(benchmark, emit, blacklist, ids_rules):
                                 respect_generator_cap=False)
                 for port in range(2)
             ]
-            result = measure_throughput(system, sources, 512, 200.0,
-                                        warmup_packets=800, measure_packets=2500)
+            result = SimSession.for_system(system, sources).measure_throughput(
+                512, 200.0, warmup_packets=800, measure_packets=2500)
             rows.append([label, result.achieved_gbps, result.achieved_mpps])
         return rows
 

@@ -8,13 +8,14 @@ low and maximum load with the Eq. 1 prediction alongside.
 
 import pytest
 
-from repro.analysis import (
-    estimated_latency_us,
-    format_table,
-    forwarding_bounds,
-    forwarding_experiment,
-    measure_latency,
+from repro import (
+    ExperimentSpec,
+    MeasurementWindow,
+    SimSession,
+    TrafficProfile,
+    run_experiment,
 )
+from repro.analysis import estimated_latency_us, format_table, forwarding_bounds
 from repro.core import CONFIG_16_RPU, CONFIG_8_RPU, RosebudConfig, RosebudSystem
 from repro.firmware import FORWARDER_CYCLES, ForwarderFirmware
 from repro.traffic import FixedSizeSource
@@ -29,10 +30,13 @@ def _curve(n_rpus, total_gbps, n_ports):
     measured = {}
     config = CONFIG_16_RPU if n_rpus == 16 else CONFIG_8_RPU
     for size in SIZES:
-        result = forwarding_experiment(
-            n_rpus, size, total_gbps, ForwarderFirmware,
-            n_ports_used=n_ports, warmup_packets=800, measure_packets=3000,
-        )
+        result = run_experiment(ExperimentSpec(
+            config=RosebudConfig(n_rpus=n_rpus),
+            firmware=ForwarderFirmware,
+            traffic=TrafficProfile(
+                packet_size=size, offered_gbps=total_gbps, n_ports=n_ports),
+            window=MeasurementWindow(warmup_packets=800, measure_packets=3000),
+        )).throughput
         bound = forwarding_bounds(config, size, n_ports, 100.0, FORWARDER_CYCLES)
         rows.append([
             size,
@@ -115,7 +119,8 @@ def test_fig7c_latency(benchmark, emit):
             # low load
             system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
             sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
-            low = measure_latency(system, sources, warmup_packets=50, measure_packets=300)
+            low = SimSession.for_system(system, sources).measure_latency(
+                warmup_packets=50, measure_packets=300)
             # maximum load
             system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
             uncapped = size < 128  # only tiny frames exceed the DUT's rate
@@ -124,7 +129,8 @@ def test_fig7c_latency(benchmark, emit):
                 for p in range(2)
             ]
             warmup = 70_000 if uncapped else 3_000
-            high = measure_latency(system, sources, warmup_packets=warmup, measure_packets=600)
+            high = SimSession.for_system(system, sources).measure_latency(
+                warmup_packets=warmup, measure_packets=600)
             rows.append([
                 size, low.mean, high.mean, estimated_latency_us(size),
             ])

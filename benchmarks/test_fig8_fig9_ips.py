@@ -11,7 +11,8 @@ cycles-per-packet (n_rpus x clock / packet rate).
 
 import pytest
 
-from repro.analysis import format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.baselines import SnortBaseline
 from repro.core import HashLB, RosebudConfig, RosebudSystem
 from repro.firmware import (
@@ -42,8 +43,8 @@ def _ips_point(firmware, size, lb=None, n_flows=4096):
         )
         for port in range(2)
     ]
-    result = measure_throughput(
-        system, sources, size, 200.0, warmup_packets=1000, measure_packets=3500
+    result = SimSession.for_system(system, sources).measure_throughput(
+        size, 200.0, warmup_packets=1000, measure_packets=3500
     )
     return result, system
 

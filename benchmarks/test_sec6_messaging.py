@@ -9,7 +9,8 @@ senders (1596-1680 ns, dominated by the 18-deep FIFO drained once per
 
 import pytest
 
-from repro.analysis import format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.core import BroadcastSystem, RosebudConfig, RosebudSystem
 from repro.firmware import TwoStepForwarder
 from repro.sim import Simulator
@@ -30,8 +31,8 @@ def test_sec63_loopback_throughput(benchmark, emit):
             sources = [
                 FixedSizeSource(system, 0, 100.0, size, respect_generator_cap=False)
             ]
-            result = measure_throughput(
-                system, sources, size, 100.0,
+            result = SimSession.for_system(system, sources).measure_throughput(
+                size, 100.0,
                 warmup_packets=1500, measure_packets=4000,
             )
             rows.append([size, result.achieved_gbps, 100 * result.fraction_of_line])

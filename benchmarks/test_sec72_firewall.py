@@ -9,7 +9,8 @@ accelerator.
 
 import pytest
 
-from repro.analysis import format_table, format_utilization_row, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table, format_utilization_row
 from repro.core import RosebudConfig, RosebudSystem
 from repro.firmware import FirewallFirmware
 from repro.hw import (
@@ -48,8 +49,8 @@ def _firewall_point(matcher, blacklist, size):
         system, 0, ATTACK_GBPS, firewall_trace(blacklist, packet_size=size),
         loop=True, respect_generator_cap=False,
     )
-    result = measure_throughput(
-        system, background + [attack], size, 200.0,
+    result = SimSession.for_system(system, background + [attack]).measure_throughput(
+        size, 200.0,
         warmup_packets=8000, measure_packets=6000, include_absorbed=True,
     )
     return result, system

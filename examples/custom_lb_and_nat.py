@@ -16,7 +16,8 @@ show directly:
 Run:  python examples/custom_lb_and_nat.py
 """
 
-from repro.analysis import format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.core import (
     HashLB,
     PowerOfTwoChoicesLB,
@@ -47,8 +48,8 @@ def compare_lb_policies() -> None:
                             seed=port + 1, respect_generator_cap=False)
             for port in range(2)
         ]
-        result = measure_throughput(system, sources, 512, 200.0,
-                                    warmup_packets=800, measure_packets=3000)
+        result = SimSession.for_system(system, sources).measure_throughput(
+            512, 200.0, warmup_packets=800, measure_packets=3000)
         counts = result.rpu_packet_counts
         rows.append([
             name, result.achieved_gbps,

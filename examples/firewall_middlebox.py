@@ -23,7 +23,8 @@ from repro.accel import (
     generate_verilog,
     parse_blacklist,
 )
-from repro.analysis import format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.core import RosebudConfig, RosebudSystem
 from repro.core.funcsim import FunctionalRpu
 from repro.firmware import FIREWALL_ASM, FirewallFirmware
@@ -78,8 +79,8 @@ def measure_at_200g(matcher, prefixes):
             ReplaySource(system, 0, 5.0, firewall_trace(prefixes, packet_size=size),
                          loop=True, respect_generator_cap=False),
         ]
-        result = measure_throughput(
-            system, sources, size, 200.0,
+        result = SimSession.for_system(system, sources).measure_throughput(
+            size, 200.0,
             warmup_packets=6000, measure_packets=5000, include_absorbed=True,
         )
         rows.append([

@@ -17,7 +17,8 @@ from repro.accel.pigasus import (
     generate_ruleset,
     parse_rules,
 )
-from repro.analysis import format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import format_table
 from repro.baselines import SnortBaseline
 from repro.core import HashLB, RosebudConfig, RosebudSystem
 from repro.core.funcsim import FunctionalRpu
@@ -80,8 +81,8 @@ def measure_ips(rules):
                                   seed=port + 1, respect_generator_cap=False)
                 for port in range(2)
             ]
-            points[label] = measure_throughput(
-                system, sources, size, 200.0,
+            points[label] = SimSession.for_system(system, sources).measure_throughput(
+                size, 200.0,
                 warmup_packets=800, measure_packets=2500,
             )
         rows.append([

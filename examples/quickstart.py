@@ -8,7 +8,8 @@ host-visible statistics the framework exposes.
 Run:  python examples/quickstart.py
 """
 
-from repro.analysis import estimated_latency_us, format_table, measure_throughput
+from repro import SimSession
+from repro.analysis import estimated_latency_us, format_table
 from repro.core import HostInterface, RosebudConfig, RosebudSystem
 from repro.firmware import ForwarderFirmware
 from repro.traffic import FixedSizeSource
@@ -26,8 +27,8 @@ def main() -> None:
         FixedSizeSource(system, port, 100.0, size, seed=port + 1)
         for port in range(config.n_ports)
     ]
-    result = measure_throughput(
-        system, sources, size, 200.0, warmup_packets=1000, measure_packets=5000
+    result = SimSession.for_system(system, sources).measure_throughput(
+        size, 200.0, warmup_packets=1000, measure_packets=5000
     )
 
     print(f"Forwarding {size}B packets on {config.n_rpus} RPUs @ 2x100G:")

@@ -1,11 +1,6 @@
 """Measurement harness, analytic models, and report formatting."""
 
-from .harness import (
-    ThroughputResult,
-    forwarding_experiment,
-    measure_latency,
-    measure_throughput,
-)
+from .harness import ThroughputResult
 from .spec import (
     ExperimentResult,
     ExperimentSpec,
@@ -52,9 +47,6 @@ __all__ = [
     "software_limit_mpps",
     "win_factor",
     "ThroughputResult",
-    "forwarding_experiment",
-    "measure_latency",
-    "measure_throughput",
     "ExperimentResult",
     "ExperimentSpec",
     "MeasurementWindow",

@@ -44,81 +44,20 @@ from .spec import ExperimentResult, ExperimentSpec
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build the system described by ``spec`` and measure it, serially.
 
-    This is the one construction path shared by the harness wrappers,
-    the CLI, and the pool workers: config -> system -> sources ->
-    warmup -> measurement window.
+    This is the one construction path shared by the CLI, the pool
+    workers, and interactive sessions: a thin wrapper that opens a
+    :class:`~repro.serve.session.SimSession` (which performs the
+    backend/verify/build/replay/fault setup in the canonical order)
+    and steps it to measurement completion.  The stepper is
+    differential-tested to produce byte-identical results to the
+    retired in-line batch loop.
     """
-    from .harness import _measure_latency, _measure_throughput
+    # imported lazily: repro.serve builds on the analysis spec, so the
+    # dependency must point session -> spec, not engine -> session at
+    # module import time
+    from ..serve.session import SimSession
 
-    if spec.cpu_backend is not None:
-        # set before build: workers in a spawn pool don't inherit the
-        # parent's default, so the spec carries the backend choice
-        from ..riscv.cpu import set_default_backend
-
-        set_default_backend(spec.cpu_backend)
-
-    if spec.verify:
-        # static pre-flight: cheap (cached CFG/WCET + arithmetic), runs
-        # before the system is built so infeasible points fail in
-        # microseconds instead of burning a simulation slot
-        import warnings
-
-        from ..verify import VerificationError, preflight_spec
-
-        report = preflight_spec(spec)
-        if report.failed:
-            if spec.verify == "fail":
-                raise VerificationError(
-                    f"pre-flight verification failed: {report.summary()}",
-                    report,
-                )
-            warnings.warn(
-                f"pre-flight verification failed: {report.summary()}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-
-    system = spec.build_system()
-    sources = spec.build_sources(system)
-    replay_cache = None
-    replay_base: Dict[str, int] = {}
-    if spec.replay_cache:
-        replay_cache = _replay_cache_for(spec)
-        replay_base = replay_cache.stats.snapshot()
-        system.attach_replay_cache(replay_cache)
-    controller = None
-    if spec.faults:
-        # chaos path: schedule the campaign before traffic starts so
-        # fault times are absolute simulation cycles
-        from ..faults import install_faults
-
-        controller = install_faults(system, spec.faults)
-    key = spec.cache_key()
-    if spec.measure == "latency":
-        histogram = _measure_latency(system, sources, spec.window)
-        result = ExperimentResult(spec_key=key, latency=histogram.summary())
-    else:
-        throughput = _measure_throughput(
-            system,
-            sources,
-            spec.traffic.packet_size,
-            spec.traffic.offered_gbps,
-            spec.window,
-            include_host=spec.include_host,
-            include_absorbed=spec.include_absorbed,
-        )
-        result = ExperimentResult(spec_key=key, throughput=throughput)
-    result.counters = system.counters.snapshot()
-    result.firmware_totals = _firmware_totals(system)
-    if replay_cache is not None:
-        result.replay = replay_cache.stats.delta(replay_base)
-    if controller is not None:
-        from ..faults import resilience_report
-
-        controller.host.stop_watchdog()
-        controller.sampler.stop()
-        result.resilience = resilience_report(controller)
-    return result
+    return SimSession(spec).run_to_completion()
 
 
 #: Warm behavioural replay caches, keyed by firmware construction

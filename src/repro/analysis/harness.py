@@ -1,33 +1,24 @@
-"""Measurement harness for the benchmark suite.
+"""Measurement result types for the benchmark suite.
 
 The artifact measures throughput by letting traffic flow "for a minute
-to get a good average" and reading averaged byte counters.  In
-simulation we do the same with a warmup: run until the pipeline is in
-steady state, snapshot counters, run a measurement window, and report
-rates over that window only.
+to get a good average" and reading averaged byte counters; the
+simulation equivalent — warmup to steady state, snapshot counters,
+measure over a window — lives in the resumable drivers of
+:mod:`repro.serve.session`, shared by batch
+:func:`~repro.analysis.engine.run_experiment` and interactive
+:class:`~repro.serve.session.SimSession` stepping alike.
 
-The measurement loops live here as private primitives shared by every
-entry point; the public functions (:func:`measure_throughput`,
-:func:`measure_latency`, :func:`forwarding_experiment`) are kept for
-compatibility as thin wrappers over the :class:`ExperimentSpec` API
-and emit :class:`DeprecationWarning` — new code should build an
-:class:`~repro.analysis.spec.ExperimentSpec` and call
-:func:`~repro.analysis.engine.run_experiment` (or use the parallel
-:class:`~repro.analysis.engine.SweepRunner`).
+The PR-1 deprecated kwarg-bundle entry points (``measure_throughput``,
+``measure_latency``, ``forwarding_experiment``) have been removed; see
+``docs/API.md`` for the migration table.  Build an
+:class:`~repro.analysis.spec.ExperimentSpec` and run it, or wrap a
+hand-built system with :meth:`SimSession.for_system`.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
-
-from ..core.config import RosebudConfig
-from ..core.firmware_api import FirmwareModel
-from ..core.lb import LBPolicy
-from ..core.system import RosebudSystem
-from ..sim.clock import max_effective_gbps
-from ..sim.stats import Histogram
-from .spec import ExperimentSpec, MeasurementWindow, TrafficProfile, _deprecated
+from typing import Any, Dict, List
 
 
 @dataclass
@@ -55,211 +46,3 @@ class ThroughputResult:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ThroughputResult":
         return cls(**data)
-
-
-def _measure_throughput(
-    system: RosebudSystem,
-    sources: Sequence,
-    packet_size: int,
-    offered_gbps_total: float,
-    window: MeasurementWindow,
-    include_host: bool = True,
-    include_absorbed: bool = False,
-) -> ThroughputResult:
-    """Run sources against a system and measure steady-state rates.
-
-    Completion is counted at MAC TX (plus the host link and firmware
-    drops, so drop/punt middleboxes measure their full served rate).
-    """
-    for source in sources:
-        source.start()
-
-    def completions() -> int:
-        done = system.counters.value("delivered")
-        if include_host:
-            done += system.counters.value("to_host")
-            done += system.counters.value("dropped_by_firmware")
-        return done
-
-    sim = system.sim
-    deadline = sim.now + window.max_cycles
-
-    def run_until_completions(target: int) -> None:
-        while completions() < target:
-            if sim.peek() is None or sim.now > deadline:
-                raise RuntimeError(
-                    f"stalled at {completions()} completions (target {target})"
-                )
-            sim.step()
-
-    run_until_completions(window.warmup_packets)
-    t0 = sim.now
-    base_tx = [
-        (meter.bytes_total, meter.packets_total) for meter in system.tx_meters
-    ]
-    base_host = (system.host_meter.bytes_total, system.host_meter.packets_total)
-    base_absorbed = sum(mac.counters.value("rx_bytes") for mac in system.macs)
-    base_drops = system.total_rx_drops()
-    base_rpu = list(system.rpu_packet_counts())
-
-    run_until_completions(window.warmup_packets + window.measure_packets)
-    elapsed_cycles = sim.now - t0
-    seconds = system.config.clock.cycles_to_seconds(elapsed_cycles)
-
-    tx_bytes = sum(
-        meter.bytes_total - b0 for meter, (b0, _p0) in zip(system.tx_meters, base_tx)
-    )
-    tx_packets = sum(
-        meter.packets_total - p0 for meter, (_b0, p0) in zip(system.tx_meters, base_tx)
-    )
-    if include_host:
-        tx_bytes += system.host_meter.bytes_total - base_host[0]
-        tx_packets += system.host_meter.packets_total - base_host[1]
-    if include_absorbed:
-        tx_bytes = sum(mac.counters.value("rx_bytes") for mac in system.macs) - base_absorbed
-        tx_packets = window.measure_packets
-
-    achieved_gbps = tx_bytes * 8 / seconds / 1e9
-    achieved_mpps = tx_packets / seconds / 1e6
-    rpu_counts = [
-        now - before for now, before in zip(system.rpu_packet_counts(), base_rpu)
-    ]
-    cpp = 0.0
-    if achieved_mpps > 0:
-        cpp = system.config.n_rpus * system.config.clock.freq_hz / (achieved_mpps * 1e6)
-
-    return ThroughputResult(
-        packet_size=packet_size,
-        offered_gbps=offered_gbps_total,
-        achieved_gbps=achieved_gbps,
-        achieved_mpps=achieved_mpps,
-        line_rate_gbps=max_effective_gbps(offered_gbps_total, packet_size),
-        rx_drops=system.total_rx_drops() - base_drops,
-        rpu_packet_counts=rpu_counts,
-        cycles_per_packet=cpp,
-    )
-
-
-def _measure_latency(
-    system: RosebudSystem,
-    sources: Sequence,
-    window: MeasurementWindow,
-) -> Histogram:
-    """Collect the forwarding-latency histogram over a steady window."""
-    for source in sources:
-        source.start()
-    sim = system.sim
-    deadline = sim.now + window.max_cycles
-
-    def run_until(target: int) -> None:
-        while system.counters.value("delivered") < target:
-            if sim.peek() is None or sim.now > deadline:
-                raise RuntimeError("latency run stalled")
-            sim.step()
-
-    run_until(window.warmup_packets)
-    histogram = Histogram("latency_us")
-    original = system.latency_us
-    system.latency_us = histogram
-    run_until(window.warmup_packets + window.measure_packets)
-    system.latency_us = original
-    return histogram
-
-
-# -- deprecated kwarg-bundle entry points ----------------------------------
-
-
-def measure_throughput(
-    system: RosebudSystem,
-    sources: Sequence,
-    packet_size: int,
-    offered_gbps_total: float,
-    warmup_packets: int = 2000,
-    measure_packets: int = 8000,
-    max_cycles: float = 500_000_000,
-    include_host: bool = True,
-    include_absorbed: bool = False,
-) -> ThroughputResult:
-    """Deprecated: measure a live system (use ExperimentSpec instead)."""
-    _deprecated(
-        "measure_throughput(system, sources, ...)",
-        "build an ExperimentSpec and call run_experiment(spec)",
-    )
-    window = MeasurementWindow(
-        warmup_packets=warmup_packets,
-        measure_packets=measure_packets,
-        max_cycles=max_cycles,
-    )
-    return _measure_throughput(
-        system,
-        sources,
-        packet_size,
-        offered_gbps_total,
-        window,
-        include_host=include_host,
-        include_absorbed=include_absorbed,
-    )
-
-
-def measure_latency(
-    system: RosebudSystem,
-    sources: Sequence,
-    warmup_packets: int = 500,
-    measure_packets: int = 2000,
-    max_cycles: float = 500_000_000,
-) -> Histogram:
-    """Deprecated: latency histogram on a live system (use ExperimentSpec)."""
-    _deprecated(
-        "measure_latency(system, sources, ...)",
-        "build an ExperimentSpec with measure='latency' and run it",
-    )
-    window = MeasurementWindow(
-        warmup_packets=warmup_packets,
-        measure_packets=measure_packets,
-        max_cycles=max_cycles,
-    )
-    return _measure_latency(system, sources, window)
-
-
-def forwarding_experiment(
-    n_rpus: int,
-    packet_size: int,
-    total_gbps: float,
-    firmware_factory: Callable[[], FirmwareModel],
-    lb_policy: Optional[LBPolicy] = None,
-    n_ports_used: int = 2,
-    warmup_packets: int = 2000,
-    measure_packets: int = 8000,
-    config: Optional[RosebudConfig] = None,
-    include_host: bool = True,
-    source_factory: Optional[Callable[[RosebudSystem, int, float], object]] = None,
-) -> ThroughputResult:
-    """Deprecated: build a system + sources and measure one point.
-
-    Thin wrapper over :class:`ExperimentSpec`; prefer constructing the
-    spec directly (it is cacheable and pool-dispatchable).
-    """
-    _deprecated(
-        "forwarding_experiment(...)",
-        "build an ExperimentSpec and call run_experiment(spec)",
-    )
-    spec = ExperimentSpec(
-        config=config or RosebudConfig(n_rpus=n_rpus),
-        firmware=firmware_factory,
-        traffic=TrafficProfile(
-            packet_size=packet_size,
-            offered_gbps=total_gbps,
-            n_ports=n_ports_used,
-        ),
-        window=MeasurementWindow(
-            warmup_packets=warmup_packets, measure_packets=measure_packets
-        ),
-        lb=lb_policy,
-        include_host=include_host,
-        source_factory=source_factory,
-    )
-    from .engine import run_experiment
-
-    result = run_experiment(spec)
-    assert result.throughput is not None
-    return result.throughput

@@ -26,7 +26,6 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -412,6 +411,8 @@ class ExperimentResult:
     replay: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
+        from ..schema import stamp
+
         out: Dict[str, Any] = {
             "spec_key": self.spec_key,
             "counters": dict(self.counters),
@@ -425,12 +426,18 @@ class ExperimentResult:
             out["resilience"] = dict(self.resilience)
         if self.replay is not None:
             out["replay"] = dict(self.replay)
-        return out
+        return stamp(out, "repro-result")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        from ..schema import check
         from .harness import ThroughputResult
 
+        if "schema" in data:
+            # cache entries written before the envelope was versioned
+            # carry no schema field and stay readable; anything stamped
+            # must be a repro-result document this code understands
+            check(data, "repro-result")
         throughput = None
         if "throughput" in data:
             throughput = ThroughputResult.from_dict(data["throughput"])
@@ -443,11 +450,3 @@ class ExperimentResult:
             resilience=data.get("resilience"),
             replay=data.get("replay"),
         )
-
-
-def _deprecated(old: str, hint: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; {hint}",
-        DeprecationWarning,
-        stacklevel=3,
-    )

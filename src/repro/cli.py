@@ -568,6 +568,22 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Online serving mode: a line-delimited JSON-RPC session loop.
+
+    Interactive by default (requests on stdin, ``repro-serve/1``
+    replies on stdout); ``--script scenario.jsonl`` replays a recorded
+    scenario instead, and ``--check`` makes any error reply fail the
+    exit status (the CI smoke mode).
+    """
+    from .serve.rpc import serve_loop
+
+    if args.script and args.script != "-":
+        with open(args.script) as fh:
+            return serve_loop(fh, sys.stdout, check=args.check)
+    return serve_loop(sys.stdin, sys.stdout, check=args.check)
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Static firmware verification: CFG/WCET budget + MMIO + replay lint.
 
@@ -770,6 +786,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", parents=[_common_parser()],
                        help="ISS speed/cycles-per-packet calibration")
     p.set_defaults(func=cmd_calibrate, packets=200)
+
+    p = sub.add_parser("serve",
+                       help="interactive JSON-RPC session over stdin/stdout")
+    p.add_argument("--script", default=None, metavar="PATH",
+                   help="replay a .jsonl scenario ('-' or omitted: stdin)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero if any request errors (scripted mode)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("verify", parents=[_common_parser()],
                        help="static firmware verification (CFG/WCET budget, "

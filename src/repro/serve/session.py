@@ -1,0 +1,834 @@
+"""The incremental simulation session: :class:`SimSession`.
+
+A Rosebud deployment is a *long-running service* — the paper's headline
+demo hot-swaps Pigasus firmware under live 100G traffic — so the
+engine's measurement loop is factored into a resumable stepper instead
+of a closed batch run.  A session owns one built system plus its
+traffic feeds and exposes:
+
+* :meth:`step` — advance the event simulation by ``n_events`` fired
+  events and/or up to an absolute timestamp ``until_ts`` (or a relative
+  ``cycles`` budget), with the measurement state machine pumped at
+  every event boundary;
+* :meth:`inject` — offer packets mid-flight (port ingress or the
+  host's virtual-Ethernet trace path);
+* :meth:`control` — live control-plane actions: hot firmware
+  reconfiguration over the drain protocol, fault injection from
+  :mod:`repro.faults`, LB policy swap, receive-mask writes, watchdog
+  lifecycle, eviction;
+* :meth:`snapshot` — rolling telemetry (per-RPU utilization, drop
+  taxonomy, queue depths, replay-cache hit rate) as versioned JSON
+  (``repro-snapshot/1``).
+
+Batch :func:`repro.analysis.engine.run_experiment` is a thin wrapper —
+open a session from the spec, :meth:`run_to_completion` — and produces
+byte-identical :class:`~repro.analysis.spec.ExperimentResult`s because
+the measurement drivers here replicate the legacy harness loops at
+exact event granularity: phase transitions happen at the same
+completion boundaries, baselines are snapshotted at the same instant,
+and the result envelope is frozen the moment the measure target is
+reached (so an interactive ``step`` overshooting the window cannot
+perturb it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.firmware_api import FirmwareModel
+from ..sim.clock import max_effective_gbps
+from ..sim.stats import Histogram
+from ..analysis.harness import ThroughputResult
+from ..analysis.spec import (
+    LB_REGISTRY,
+    ExperimentResult,
+    ExperimentSpec,
+    MeasurementWindow,
+)
+from ..schema import stamp
+from .feed import SourceFeed, TrafficFeed
+
+
+class SessionError(RuntimeError):
+    """An operation that does not make sense in the session's state."""
+
+
+# -- measurement state machines --------------------------------------------
+#
+# These replicate analysis/harness.py's retired batch loops as
+# resumable drivers: ``pump()`` performs every phase transition whose
+# completion target has been reached, and the caller (the session)
+# interleaves ``pump()`` with single ``sim.step()`` calls.  Byte
+# identity with the legacy loops rests on pumping *before every fired
+# event*, so baselines and final readings land on the same event
+# boundaries regardless of how the caller chunks its stepping.
+
+
+class _MeasurementDriver:
+    """Phase machine: ``warmup`` -> ``measure`` -> ``done``."""
+
+    mode = ""
+
+    def __init__(self, system, window: MeasurementWindow) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.window = window
+        self.deadline = self.sim.now + window.max_cycles
+        self.phase = "warmup"
+        self.result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def completions(self) -> int:
+        raise NotImplementedError
+
+    def target(self) -> int:
+        if self.phase == "warmup":
+            return self.window.warmup_packets
+        return self.window.warmup_packets + self.window.measure_packets
+
+    def pump(self) -> None:
+        """Run every phase transition whose target has been reached."""
+        while self.phase != "done" and self.completions() >= self.target():
+            if self.phase == "warmup":
+                self._begin_measure()
+                self.phase = "measure"
+            else:
+                self._finish()
+                self.phase = "done"
+
+    def check_stall(self) -> None:
+        """The legacy loops' stall guard, evaluated between events."""
+        if self.sim.peek() is None or self.sim.now > self.deadline:
+            raise RuntimeError(self._stall_message())
+
+    def status(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"mode": self.mode, "phase": self.phase}
+        if not self.done:
+            out["completions"] = self.completions()
+            out["target"] = self.target()
+        return out
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _begin_measure(self) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        raise NotImplementedError
+
+    def _stall_message(self) -> str:
+        raise NotImplementedError
+
+
+class _ThroughputDriver(_MeasurementDriver):
+    """Steady-state rate measurement (was ``_measure_throughput``).
+
+    Completion is counted at MAC TX (plus the host link and firmware
+    drops, so drop/punt middleboxes measure their full served rate).
+    """
+
+    mode = "throughput"
+
+    def __init__(
+        self,
+        system,
+        window: MeasurementWindow,
+        packet_size: int,
+        offered_gbps_total: float,
+        include_host: bool = True,
+        include_absorbed: bool = False,
+    ) -> None:
+        super().__init__(system, window)
+        self.packet_size = packet_size
+        self.offered_gbps_total = offered_gbps_total
+        self.include_host = include_host
+        self.include_absorbed = include_absorbed
+
+    def completions(self) -> int:
+        done = self.system.counters.value("delivered")
+        if self.include_host:
+            done += self.system.counters.value("to_host")
+            done += self.system.counters.value("dropped_by_firmware")
+        return done
+
+    def _begin_measure(self) -> None:
+        system = self.system
+        self._t0 = self.sim.now
+        self._base_tx = [
+            (meter.bytes_total, meter.packets_total) for meter in system.tx_meters
+        ]
+        self._base_host = (
+            system.host_meter.bytes_total,
+            system.host_meter.packets_total,
+        )
+        self._base_absorbed = sum(
+            mac.counters.value("rx_bytes") for mac in system.macs
+        )
+        self._base_drops = system.total_rx_drops()
+        self._base_rpu = list(system.rpu_packet_counts())
+
+    def _finish(self) -> None:
+        system = self.system
+        elapsed_cycles = self.sim.now - self._t0
+        seconds = system.config.clock.cycles_to_seconds(elapsed_cycles)
+
+        tx_bytes = sum(
+            meter.bytes_total - b0
+            for meter, (b0, _p0) in zip(system.tx_meters, self._base_tx)
+        )
+        tx_packets = sum(
+            meter.packets_total - p0
+            for meter, (_b0, p0) in zip(system.tx_meters, self._base_tx)
+        )
+        if self.include_host:
+            tx_bytes += system.host_meter.bytes_total - self._base_host[0]
+            tx_packets += system.host_meter.packets_total - self._base_host[1]
+        if self.include_absorbed:
+            tx_bytes = (
+                sum(mac.counters.value("rx_bytes") for mac in system.macs)
+                - self._base_absorbed
+            )
+            tx_packets = self.window.measure_packets
+
+        achieved_gbps = tx_bytes * 8 / seconds / 1e9
+        achieved_mpps = tx_packets / seconds / 1e6
+        rpu_counts = [
+            now - before
+            for now, before in zip(system.rpu_packet_counts(), self._base_rpu)
+        ]
+        cpp = 0.0
+        if achieved_mpps > 0:
+            cpp = (
+                system.config.n_rpus
+                * system.config.clock.freq_hz
+                / (achieved_mpps * 1e6)
+            )
+
+        self.result = ThroughputResult(
+            packet_size=self.packet_size,
+            offered_gbps=self.offered_gbps_total,
+            achieved_gbps=achieved_gbps,
+            achieved_mpps=achieved_mpps,
+            line_rate_gbps=max_effective_gbps(
+                self.offered_gbps_total, self.packet_size
+            ),
+            rx_drops=system.total_rx_drops() - self._base_drops,
+            rpu_packet_counts=rpu_counts,
+            cycles_per_packet=cpp,
+        )
+
+    def _stall_message(self) -> str:
+        return f"stalled at {self.completions()} completions (target {self.target()})"
+
+
+class _LatencyDriver(_MeasurementDriver):
+    """Forwarding-latency histogram (was ``_measure_latency``)."""
+
+    mode = "latency"
+
+    def completions(self) -> int:
+        return self.system.counters.value("delivered")
+
+    def _begin_measure(self) -> None:
+        self._histogram = Histogram("latency_us")
+        self._original = self.system.latency_us
+        self.system.latency_us = self._histogram
+
+    def _finish(self) -> None:
+        self.system.latency_us = self._original
+        self.result = self._histogram
+
+    def _stall_message(self) -> str:
+        return "latency run stalled"
+
+
+# -- the session ------------------------------------------------------------
+
+
+class SimSession:
+    """One live simulated Rosebud deployment, stepped incrementally.
+
+    Two construction paths:
+
+    * ``SimSession(spec)`` builds everything the batch engine would —
+      backend, verification pre-flight, system, sources, replay cache,
+      fault campaign — in the same order, so stepping to completion
+      reproduces :func:`~repro.analysis.engine.run_experiment` byte for
+      byte.
+    * :meth:`SimSession.for_system` wraps a hand-built system (and
+      optional already-constructed sources) for interactive use and for
+      callers migrating off the removed ``measure_throughput`` /
+      ``measure_latency`` harness wrappers.
+    """
+
+    def __init__(self, spec: Optional[ExperimentSpec] = None, *, _system=None) -> None:
+        self.spec = spec
+        self.spec_key = ""
+        self._feeds: List[TrafficFeed] = []
+        self._started = False
+        self._measurement: Optional[_MeasurementDriver] = None
+        self._result: Optional[Any] = None
+        self._host = None
+        self._controller = None
+        self._replay_cache = None
+        self._replay_base: Dict[str, int] = {}
+        self._snapshot_seq = 0
+        self._last_rates: Optional[Dict[str, float]] = None
+
+        if spec is None:
+            self.system = _system
+            return
+        if _system is not None:
+            raise SessionError("pass either a spec or a system, not both")
+
+        # -- replicate run_experiment's setup, in its exact order --------
+        if spec.cpu_backend is not None:
+            # set before build: workers in a spawn pool don't inherit the
+            # parent's default, so the spec carries the backend choice
+            from ..riscv.cpu import set_default_backend
+
+            set_default_backend(spec.cpu_backend)
+
+        if spec.verify:
+            # static pre-flight: cheap (cached CFG/WCET + arithmetic),
+            # runs before the system is built so infeasible points fail
+            # in microseconds instead of burning a simulation slot
+            import warnings
+
+            from ..verify import VerificationError, preflight_spec
+
+            report = preflight_spec(spec)
+            if report.failed:
+                if spec.verify == "fail":
+                    raise VerificationError(
+                        f"pre-flight verification failed: {report.summary()}",
+                        report,
+                    )
+                warnings.warn(
+                    f"pre-flight verification failed: {report.summary()}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+        self.system = spec.build_system()
+        sources = spec.build_sources(self.system)
+        if spec.replay_cache:
+            from ..analysis.engine import _replay_cache_for
+
+            self._replay_cache = _replay_cache_for(spec)
+            self._replay_base = self._replay_cache.stats.snapshot()
+            self.system.attach_replay_cache(self._replay_cache)
+        if spec.faults:
+            # chaos path: schedule the campaign before traffic starts so
+            # fault times are absolute simulation cycles
+            from ..faults import install_faults
+
+            self._controller = install_faults(self.system, spec.faults)
+        self.spec_key = spec.cache_key()
+        self._feeds = [SourceFeed(source) for source in sources]
+
+    @classmethod
+    def for_system(cls, system, sources: Sequence = ()) -> "SimSession":
+        """Wrap an already-built system (interactive / migration path)."""
+        session = cls(_system=system)
+        for source in sources:
+            session.add_feed(source if isinstance(source, TrafficFeed) else SourceFeed(source))
+        return session
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    @property
+    def host(self):
+        """The host control interface (created on first use; a fault
+        controller's host is shared so watchdog/reconfig telemetry lands
+        in one log)."""
+        if self._controller is not None:
+            return self._controller.host
+        if self._host is None:
+            from ..core.host import HostInterface
+
+            self._host = HostInterface(self.system)
+        return self._host
+
+    @property
+    def measurement_done(self) -> bool:
+        return self._measurement is not None and self._measurement.done
+
+    def add_feed(self, feed: TrafficFeed, delay: float = 0.0) -> TrafficFeed:
+        """Attach a traffic feed; starts immediately on a running session."""
+        self._feeds.append(feed)
+        if self._started:
+            feed.start(self, delay)
+        return feed
+
+    def start(self, delay: float = 0.0) -> None:
+        """Start traffic (idempotent); arms the spec's measurement."""
+        if not self._started:
+            self._started = True
+            for feed in self._feeds:
+                feed.start(self, delay)
+        if self.spec is not None and self._measurement is None:
+            spec = self.spec
+            if spec.measure == "latency":
+                self._measurement = _LatencyDriver(self.system, spec.window)
+            else:
+                self._measurement = _ThroughputDriver(
+                    self.system,
+                    spec.window,
+                    spec.traffic.packet_size,
+                    spec.traffic.offered_gbps,
+                    include_host=spec.include_host,
+                    include_absorbed=spec.include_absorbed,
+                )
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(
+        self,
+        n_events: Optional[int] = None,
+        until_ts: Optional[float] = None,
+        cycles: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Advance the simulation incrementally.
+
+        Fires at most ``n_events`` events and/or every event up to
+        absolute time ``until_ts`` (``cycles`` is relative shorthand);
+        with no bound, runs until the event queue drains or the active
+        measurement completes.  The measurement state machine is pumped
+        before every event, and stepping pauses the instant a
+        measurement finishes so its result is frozen at the same event
+        boundary the batch engine would have stopped on.
+        """
+        self.start()
+        sim = self.sim
+        if cycles is not None:
+            bound = sim.now + cycles
+            until_ts = bound if until_ts is None else min(until_ts, bound)
+        fired = 0
+        froze = False
+        driver = self._measurement
+        while True:
+            if driver is not None and not driver.done:
+                driver.pump()
+                if driver.done:
+                    self._finalize()
+                    froze = True
+                    break
+            if n_events is not None and fired >= n_events:
+                break
+            upcoming = sim.peek()
+            if upcoming is None:
+                break
+            if until_ts is not None and upcoming > until_ts:
+                break
+            sim.step()
+            fired += 1
+        if until_ts is not None and not froze and sim.now < until_ts:
+            # no events left before the bound: advance the clock to it
+            # (matches Simulator.run(until=...) semantics)
+            sim.run(until=until_ts)
+        return {
+            "events": fired,
+            "now": sim.now,
+            "measurement_done": self.measurement_done,
+        }
+
+    def run_to_completion(self) -> Any:
+        """Step until the active measurement finishes (the batch path).
+
+        Replicates the legacy harness loop exactly, including its stall
+        diagnostics; returns the finalized result (an
+        :class:`ExperimentResult` for spec sessions, the raw
+        measurement for :meth:`for_system` sessions).
+        """
+        self.start()
+        driver = self._measurement
+        if driver is None:
+            raise SessionError(
+                "no measurement configured; open the session from a spec or "
+                "call measure_throughput()/measure_latency()"
+            )
+        sim = self.sim
+        while not driver.done:
+            driver.pump()
+            if driver.done:
+                break
+            driver.check_stall()
+            sim.step()
+        if self._result is None:
+            self._finalize()
+        return self._result
+
+    def result(self) -> Any:
+        """The finalized result; raises until the measurement completes."""
+        if self._result is None:
+            raise SessionError("measurement not complete; keep stepping")
+        return self._result
+
+    def _finalize(self) -> None:
+        driver = self._measurement
+        if self.spec is None:
+            self._result = driver.result
+            return
+        # assemble the ExperimentResult envelope exactly as the batch
+        # engine always has, at the same instant (no events in between)
+        from ..analysis.engine import _firmware_totals
+
+        if self.spec.measure == "latency":
+            result = ExperimentResult(
+                spec_key=self.spec_key, latency=driver.result.summary()
+            )
+        else:
+            result = ExperimentResult(spec_key=self.spec_key, throughput=driver.result)
+        result.counters = self.system.counters.snapshot()
+        result.firmware_totals = _firmware_totals(self.system)
+        if self._replay_cache is not None:
+            result.replay = self._replay_cache.stats.delta(self._replay_base)
+        if self._controller is not None:
+            from ..faults import resilience_report
+
+            self._controller.host.stop_watchdog()
+            self._controller.sampler.stop()
+            result.resilience = resilience_report(self._controller)
+        self._result = result
+
+    # -- live-system measurements (migration path) -------------------------
+
+    def measure_throughput(
+        self,
+        packet_size: int,
+        offered_gbps: float,
+        warmup_packets: int = 2000,
+        measure_packets: int = 8000,
+        max_cycles: float = 500_000_000,
+        include_host: bool = True,
+        include_absorbed: bool = False,
+    ) -> ThroughputResult:
+        """Measure steady-state rates on this session's live system."""
+        self._arm(
+            _ThroughputDriver(
+                self.system,
+                MeasurementWindow(
+                    warmup_packets=warmup_packets,
+                    measure_packets=measure_packets,
+                    max_cycles=max_cycles,
+                ),
+                packet_size,
+                offered_gbps,
+                include_host=include_host,
+                include_absorbed=include_absorbed,
+            )
+        )
+        return self.run_to_completion()
+
+    def measure_latency(
+        self,
+        warmup_packets: int = 500,
+        measure_packets: int = 2000,
+        max_cycles: float = 500_000_000,
+    ) -> Histogram:
+        """Collect the forwarding-latency histogram on this session."""
+        self._arm(
+            _LatencyDriver(
+                self.system,
+                MeasurementWindow(
+                    warmup_packets=warmup_packets,
+                    measure_packets=measure_packets,
+                    max_cycles=max_cycles,
+                ),
+            )
+        )
+        return self.run_to_completion()
+
+    def _arm(self, driver: _MeasurementDriver) -> None:
+        if self.spec is not None:
+            raise SessionError("spec sessions carry their own measurement")
+        if self._measurement is not None and not self._measurement.done:
+            raise SessionError("a measurement is already in progress")
+        # order matches the legacy harness: traffic starts, then the
+        # stall deadline is pinned relative to the current clock
+        self.start()
+        self._result = None
+        self._measurement = driver
+
+    # -- injection ---------------------------------------------------------
+
+    def inject(self, packets, port: Optional[int] = None) -> int:
+        """Offer packets immediately: to ``port``'s ingress, or through
+        the host's virtual-Ethernet trace path when ``port`` is None."""
+        if hasattr(packets, "data"):  # a single Packet
+            packets = [packets]
+        count = 0
+        for packet in packets:
+            if port is None:
+                self.host.inject_packet(packet)
+            else:
+                self.system.offer_packet(port, packet)
+            count += 1
+        return count
+
+    # -- control plane -----------------------------------------------------
+
+    def control(self, action: str, **params) -> Dict[str, Any]:
+        """Perform a live control action; returns a JSON-safe record."""
+        handler = getattr(self, f"_ctl_{action}", None)
+        if handler is None:
+            known = sorted(
+                name[len("_ctl_"):] for name in dir(self) if name.startswith("_ctl_")
+            )
+            raise SessionError(f"unknown control action {action!r}; choices: {known}")
+        out = handler(**params)
+        out["action"] = action
+        out["t"] = self.sim.now
+        return out
+
+    def _ensure_controller(self):
+        """A fault controller for live injection (lazily created: spec
+        sessions without faults and for_system sessions don't pay for a
+        sampler until chaos actually starts)."""
+        if self._controller is None:
+            from ..faults import install_faults
+
+            self._controller = install_faults(self.system, [], host=self._host)
+            self._host = None  # the controller's host is now canonical
+        return self._controller
+
+    def _resolve_firmware(self, firmware, rpu: int = 0) -> FirmwareModel:
+        if firmware is None:
+            return self.system.rpus[rpu].firmware.clone()
+        if isinstance(firmware, FirmwareModel):
+            return firmware
+        if callable(firmware):
+            return firmware()
+        raise SessionError(f"cannot build firmware from {firmware!r}")
+
+    def _ctl_reconfigure(self, rpu: int = 0, firmware=None, pr_load_ms=None) -> Dict:
+        """Hot firmware reconfiguration over the drain protocol (§4.1)."""
+        host = self.host
+        if pr_load_ms is not None:
+            host.pr_load_ms = float(pr_load_ms)
+        record = host.reconfigure_rpu(int(rpu), self._resolve_firmware(firmware, int(rpu)))
+        return {"rpu": record.rpu, "requested_at": record.requested_at}
+
+    def _ctl_fault(
+        self,
+        kind: str = "",
+        at_cycles=None,
+        in_cycles=None,
+        target: int = 0,
+        duration_cycles: float = 0.0,
+        magnitude: float = 1.0,
+        seed: int = 0,
+        **params,
+    ) -> Dict:
+        """Inject one fault live.  ``in_cycles`` is relative to *now*
+        (the batch campaign's ``at_cycles`` is absolute)."""
+        from ..faults import FaultSpec
+        from ..faults.injectors import REGISTRY
+
+        now = self.sim.now
+        if at_cycles is None:
+            at_cycles = now + float(in_cycles if in_cycles is not None else 0.0)
+        if float(at_cycles) < now:
+            raise SessionError(
+                f"fault at_cycles={at_cycles} is in the past (now={now}); "
+                "use in_cycles for a relative trigger"
+            )
+        spec = FaultSpec(
+            kind=kind,
+            at_cycles=float(at_cycles),
+            target=int(target),
+            duration_cycles=float(duration_cycles),
+            magnitude=float(magnitude),
+            seed=int(seed),
+            params=tuple(sorted(params.items())),
+        )
+        if spec.kind == "sampler":
+            raise SessionError("sampler interval is fixed once the controller exists")
+        controller = self._ensure_controller()
+        injector = REGISTRY.create(spec)
+        controller.injectors.append(injector)
+        injector.install(controller)
+        return {"kind": spec.kind, "target": spec.target, "at_cycles": spec.at_cycles}
+
+    def _ctl_set_lb(self, policy: str = "rr") -> Dict:
+        """Swap the load-balancer policy under live traffic."""
+        factory = LB_REGISTRY.get(policy)
+        if factory is None:
+            raise SessionError(
+                f"unknown lb policy {policy!r}; choices: {sorted(LB_REGISTRY)}"
+            )
+        old = type(self.system.lb.policy).name
+        self.system.lb.policy = factory(self.system.config.n_rpus)
+        # replayed records may assume the old packet->RPU mapping;
+        # flush so per-flow-state firmware stays sound under the swap
+        self.system.invalidate_replay_caches("lb policy swap")
+        return {"old": old, "new": type(self.system.lb.policy).name}
+
+    def _ctl_set_receive_mask(self, mask: int = 0) -> Dict:
+        self.host.set_receive_mask(int(mask))
+        return {"mask": int(mask), "enabled": list(self.system.lb.enabled)}
+
+    def _ctl_watchdog(
+        self,
+        op: str = "start",
+        threshold_cycles: float = 50_000.0,
+        poll_cycles: float = 5_000.0,
+        pr_load_ms=None,
+    ) -> Dict:
+        host = self.host
+        if pr_load_ms is not None:
+            host.pr_load_ms = float(pr_load_ms)
+        if op == "start":
+            host.start_watchdog(
+                lambda: self.system.rpus[0].firmware.clone(),
+                threshold_cycles=float(threshold_cycles),
+                poll_cycles=float(poll_cycles),
+            )
+        elif op == "stop":
+            host.stop_watchdog()
+        else:
+            raise SessionError(f"watchdog op must be start|stop, got {op!r}")
+        return {"op": op}
+
+    def _ctl_evict(self, rpu: int = 0) -> Dict:
+        abandoned = self.host.evict_rpu(int(rpu))
+        return {"rpu": int(rpu), "packets_abandoned": abandoned}
+
+    def _ctl_wedge(self, rpu: int = 0) -> Dict:
+        self.system.rpus[int(rpu)].wedge()
+        return {"rpu": int(rpu)}
+
+    def _ctl_unwedge(self, rpu: int = 0) -> Dict:
+        self.system.rpus[int(rpu)].unwedge()
+        return {"rpu": int(rpu)}
+
+    # -- telemetry ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Rolling telemetry as a versioned (``repro-snapshot/1``) JSON
+        document.  Every counter is cumulative, so consecutive snapshots
+        are monotone; ``rates`` covers the interval since the previous
+        snapshot."""
+        system = self.system
+        sim = self.sim
+        self._snapshot_seq += 1
+        now = sim.now
+
+        tx_bytes = sum(m.bytes_total for m in system.tx_meters)
+        tx_packets = sum(m.packets_total for m in system.tx_meters)
+        host_bytes = system.host_meter.bytes_total
+
+        rates: Dict[str, float] = {"tx_gbps": 0.0, "tx_mpps": 0.0, "host_gbps": 0.0}
+        if self._last_rates is not None and now > self._last_rates["t"]:
+            seconds = system.config.clock.cycles_to_seconds(
+                now - self._last_rates["t"]
+            )
+            rates["tx_gbps"] = (tx_bytes - self._last_rates["tx_bytes"]) * 8 / seconds / 1e9
+            rates["tx_mpps"] = (tx_packets - self._last_rates["tx_packets"]) / seconds / 1e6
+            rates["host_gbps"] = (
+                (host_bytes - self._last_rates["host_bytes"]) * 8 / seconds / 1e9
+            )
+        self._last_rates = {
+            "t": now,
+            "tx_bytes": tx_bytes,
+            "tx_packets": tx_packets,
+            "host_bytes": host_bytes,
+        }
+
+        def mac_total(counter: str) -> int:
+            return sum(mac.counters.value(counter) for mac in system.macs)
+
+        rpus = []
+        for rpu in system.rpus:
+            busy = rpu.counters.value("sw_cycles") + rpu.counters.value("accel_cycles")
+            rpus.append(
+                {
+                    "index": rpu.index,
+                    "packets": rpu.counters.value("packets"),
+                    "busy_cycles": busy,
+                    "utilization": busy / now if now > 0 else 0.0,
+                    "in_flight": rpu.in_flight,
+                    "paused": bool(rpu.paused),
+                    "wedged": bool(rpu.wedged),
+                    "enabled": bool(system.lb.enabled[rpu.index]),
+                    "slot_occupancy": system.lb.slots.occupancy(rpu.index),
+                }
+            )
+
+        replay = None
+        stats = system.replay_stats()
+        if stats is not None:
+            counts = stats.snapshot()
+            lookups = sum(
+                counts.get(k, 0) for k in ("hits", "misses", "fallbacks", "bypasses")
+            )
+            replay = dict(counts)
+            replay["hit_rate"] = counts.get("hits", 0) / lookups if lookups else 0.0
+
+        host = self._controller.host if self._controller is not None else self._host
+        reconfig = []
+        watchdog = []
+        if host is not None:
+            reconfig = [
+                {
+                    "rpu": r.rpu,
+                    "requested_at": r.requested_at,
+                    "drained_at": r.drained_at,
+                    "booted_at": r.booted_at,
+                }
+                for r in host.reconfig_log
+            ]
+            watchdog = [
+                {
+                    "rpu": w.rpu,
+                    "detected_at": w.detected_at,
+                    "packets_lost": w.packets_lost,
+                    "recovered_at": w.recovered_at,
+                    "mttr_cycles": w.recovery_cycles() if w.recovered else None,
+                }
+                for w in host.watchdog_log
+            ]
+
+        payload: Dict[str, Any] = {
+            "seq": self._snapshot_seq,
+            "now_cycles": now,
+            "events_processed": sim.events_processed,
+            "counters": system.counters.snapshot(),
+            "drops": {
+                "rx_overflow": system.total_rx_drops(),
+                "firmware": system.counters.value("dropped_by_firmware"),
+                "rx_csum": mac_total("rx_csum_drops"),
+                "rx_link": mac_total("rx_link_drops"),
+                "rx_runts": mac_total("rx_runts"),
+                "rx_giants": mac_total("rx_giants"),
+            },
+            "queues": {
+                "mac_rx_backlog": [mac.rx_backlog() for mac in system.macs],
+                "rpu_in_flight": [rpu.in_flight for rpu in system.rpus],
+                "host_rx": len(system.host_rx),
+            },
+            "rpus": rpus,
+            "lb": {
+                "policy": type(system.lb.policy).name,
+                "dispatched": system.lb.dispatched,
+                "deferred": system.lb.deferred,
+                "enabled": list(system.lb.enabled),
+            },
+            "rates": rates,
+            "replay": replay,
+            "measurement": (
+                self._measurement.status() if self._measurement is not None else None
+            ),
+            "reconfig": reconfig,
+            "watchdog": watchdog,
+            "feeds": [feed.describe() for feed in self._feeds],
+        }
+        return stamp(payload, "repro-snapshot")

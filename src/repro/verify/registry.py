@@ -334,12 +334,16 @@ def verify_all(
 def reports_to_json(reports: List[FirmwareVerifyReport]) -> str:
     """The documented ``repro verify --json`` schema (see
     ``docs/STATIC_ANALYSIS.md``)."""
+    from ..schema import stamp
+
     return json.dumps(
-        {
-            "schema": "repro-verify/1",
-            "passed": all(r.passed for r in reports),
-            "reports": [r.to_dict() for r in reports],
-        },
+        stamp(
+            {
+                "passed": all(r.passed for r in reports),
+                "reports": [r.to_dict() for r in reports],
+            },
+            "repro-verify",
+        ),
         indent=2,
         sort_keys=True,
     )

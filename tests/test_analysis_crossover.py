@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro import SimSession
 from repro.analysis import (
     line_rate_knee,
-    measure_throughput,
     required_cycles_for_line_rate,
     software_limit_mpps,
     win_factor,
@@ -81,8 +81,8 @@ class TestImix:
                        respect_generator_cap=False)
             for port in range(2)
         ]
-        result = measure_throughput(
-            system, sources, 353, 200.0, warmup_packets=1000, measure_packets=4000
+        result = SimSession.for_system(system, sources).measure_throughput(
+            353, 200.0, warmup_packets=1000, measure_packets=4000
         )
         # the 64B majority is core-bound, so IMIX lands below line rate
         # but far above the 64B-only case

@@ -5,20 +5,16 @@ import pickle
 
 import pytest
 
-from repro.analysis import (
+from repro import (
     ExperimentResult,
     ExperimentSpec,
     MeasurementWindow,
-    SpecError,
+    SimSession,
+    ThroughputResult,
     TrafficProfile,
     run_experiment,
 )
-from repro.analysis.harness import (
-    ThroughputResult,
-    forwarding_experiment,
-    measure_latency,
-    measure_throughput,
-)
+from repro.analysis import SpecError
 from repro.core import RosebudConfig, RosebudSystem
 from repro.firmware import ForwarderFirmware
 from repro.traffic import FixedSizeSource
@@ -131,32 +127,40 @@ class TestRunExperiment:
         assert clone.counters == outcome.counters
 
 
-class TestDeprecatedWrappers:
-    def test_forwarding_experiment_warns_and_matches_spec_path(self):
-        with pytest.warns(DeprecationWarning):
-            old = forwarding_experiment(
-                8, 512, 100.0, ForwarderFirmware,
-                warmup_packets=200, measure_packets=500,
-            )
-        new = run_experiment(_spec()).throughput
-        assert old == new  # byte-identical: same spec, same construction path
+class TestDeprecatedWrappersRemoved:
+    """The PR-1 kwarg-bundle wrappers are gone (docs/API.md has the
+    migration table); their semantics live on in SimSession."""
 
-    def test_measure_throughput_warns(self):
+    def test_wrappers_are_gone(self):
+        import repro.analysis
+        import repro.analysis.harness as harness
+
+        for name in ("measure_throughput", "measure_latency", "forwarding_experiment"):
+            assert not hasattr(harness, name)
+            assert not hasattr(repro.analysis, name)
+
+    def test_session_for_system_matches_spec_path(self):
         system = RosebudSystem(RosebudConfig(n_rpus=8), ForwarderFirmware())
         sources = [FixedSizeSource(system, p, 50.0, 512, seed=p + 1) for p in range(2)]
-        with pytest.warns(DeprecationWarning):
-            result = measure_throughput(
-                system, sources, 512, 100.0,
-                warmup_packets=200, measure_packets=500,
-            )
+        old = SimSession.for_system(system, sources).measure_throughput(
+            512, 100.0, warmup_packets=200, measure_packets=500
+        )
+        new = run_experiment(_spec()).throughput
+        assert old == new  # byte-identical: same construction path as the spec
+
+    def test_session_measure_throughput(self):
+        system = RosebudSystem(RosebudConfig(n_rpus=8), ForwarderFirmware())
+        sources = [FixedSizeSource(system, p, 50.0, 512, seed=p + 1) for p in range(2)]
+        result = SimSession.for_system(system, sources).measure_throughput(
+            512, 100.0, warmup_packets=200, measure_packets=500
+        )
         assert isinstance(result, ThroughputResult)
         assert result.achieved_gbps > 50
 
-    def test_measure_latency_warns(self):
+    def test_session_measure_latency(self):
         system = RosebudSystem(RosebudConfig(n_rpus=8), ForwarderFirmware())
         sources = [FixedSizeSource(system, p, 1.0, 512, seed=p + 1) for p in range(2)]
-        with pytest.warns(DeprecationWarning):
-            hist = measure_latency(
-                system, sources, warmup_packets=50, measure_packets=100
-            )
+        hist = SimSession.for_system(system, sources).measure_latency(
+            warmup_packets=50, measure_packets=100
+        )
         assert hist.count == 100

@@ -62,14 +62,19 @@ class TestCsv:
 
 class TestWithRealExperiment:
     def test_forwarding_sweep_end_to_end(self, tmp_path):
-        from repro.analysis import forwarding_experiment
+        from repro import (
+            ExperimentSpec, MeasurementWindow, TrafficProfile, run_experiment,
+        )
+        from repro.core import RosebudConfig
         from repro.firmware import ForwarderFirmware
 
         def experiment(size, rpus):
-            result = forwarding_experiment(
-                rpus, size, 200, ForwarderFirmware,
-                warmup_packets=300, measure_packets=800,
-            )
+            result = run_experiment(ExperimentSpec(
+                config=RosebudConfig(n_rpus=rpus),
+                firmware=ForwarderFirmware,
+                traffic=TrafficProfile(packet_size=size, offered_gbps=200),
+                window=MeasurementWindow(warmup_packets=300, measure_packets=800),
+            )).throughput
             return {
                 "gbps": result.achieved_gbps,
                 "fraction": result.fraction_of_line,

@@ -9,12 +9,14 @@ import pytest
 
 from repro.accel import IpBlacklistMatcher, generate_blacklist, parse_blacklist
 from repro.accel.pigasus import generate_ruleset, parse_rules
-from repro.analysis import (
-    estimated_latency_us,
-    forwarding_experiment,
-    measure_latency,
-    measure_throughput,
+from repro import (
+    ExperimentSpec,
+    MeasurementWindow,
+    SimSession,
+    TrafficProfile,
+    run_experiment,
 )
+from repro.analysis import estimated_latency_us
 from repro.core import HashLB, RosebudConfig, RosebudSystem
 from repro.firmware import (
     FirewallFirmware,
@@ -26,10 +28,17 @@ from repro.firmware import (
 from repro.traffic import FixedSizeSource, FlowTrafficSource
 
 
-def _fwd(n_rpus, size, gbps, **kwargs):
-    kwargs.setdefault("warmup_packets", 800)
-    kwargs.setdefault("measure_packets", 3000)
-    return forwarding_experiment(n_rpus, size, gbps, ForwarderFirmware, **kwargs)
+def _fwd(n_rpus, size, gbps, n_ports_used=2,
+         warmup_packets=800, measure_packets=3000):
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=n_rpus),
+        firmware=ForwarderFirmware,
+        traffic=TrafficProfile(
+            packet_size=size, offered_gbps=gbps, n_ports=n_ports_used),
+        window=MeasurementWindow(
+            warmup_packets=warmup_packets, measure_packets=measure_packets),
+    )
+    return run_experiment(spec).throughput
 
 
 class TestForwardingThroughput:
@@ -76,7 +85,8 @@ class TestForwardingLatency:
     def test_low_load_latency_tracks_eq1(self, size):
         system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
         sources = [FixedSizeSource(system, p, 1.0, size) for p in range(2)]
-        hist = measure_latency(system, sources, warmup_packets=30, measure_packets=100)
+        hist = SimSession.for_system(system, sources).measure_latency(
+            warmup_packets=30, measure_packets=100)
         assert hist.mean == pytest.approx(estimated_latency_us(size), rel=0.10)
 
     def test_saturated_64b_adds_tens_of_us(self):
@@ -85,14 +95,16 @@ class TestForwardingLatency:
             FixedSizeSource(system, p, 100.0, 64, respect_generator_cap=False)
             for p in range(2)
         ]
-        hist = measure_latency(system, sources, warmup_packets=70_000, measure_packets=2000)
+        hist = SimSession.for_system(system, sources).measure_latency(
+            warmup_packets=70_000, measure_packets=2000)
         assert 25.0 < hist.mean < 40.0  # paper: +32.8 us over the base
 
     def test_saturated_large_packets_close_to_base(self):
         """High load adds only marginal latency except at 64 B (§6.2)."""
         system = RosebudSystem(RosebudConfig(n_rpus=16), ForwarderFirmware())
         sources = [FixedSizeSource(system, p, 100.0, 1024) for p in range(2)]
-        hist = measure_latency(system, sources, warmup_packets=2000, measure_packets=1000)
+        hist = SimSession.for_system(system, sources).measure_latency(
+            warmup_packets=2000, measure_packets=1000)
         assert hist.mean < estimated_latency_us(1024) * 2.5
 
 
@@ -105,8 +117,8 @@ class TestLoopbackMessaging:
         sources = [
             FixedSizeSource(system, 0, 100.0, size, respect_generator_cap=False)
         ]
-        return measure_throughput(
-            system, sources, size, 100.0, warmup_packets=1000, measure_packets=3000
+        return SimSession.for_system(system, sources).measure_throughput(
+            size, 100.0, warmup_packets=1000, measure_packets=3000
         )
 
     def test_64b_about_60_percent(self):
@@ -138,8 +150,8 @@ class TestIpsShapes:
             )
             for p in range(2)
         ]
-        return measure_throughput(
-            system, sources, size, 200.0, warmup_packets=600, measure_packets=2500
+        return SimSession.for_system(system, sources).measure_throughput(
+            size, 200.0, warmup_packets=600, measure_packets=2500
         ), system
 
     def test_hw_reorder_cycles_near_61(self, ids_rules):
@@ -189,8 +201,8 @@ class TestFirewallShape:
         ]
         # long warmup: the RX FIFO must reach steady state before the
         # absorbed-rate reading means anything at overload
-        return measure_throughput(
-            system, sources, size, 200.0,
+        return SimSession.for_system(system, sources).measure_throughput(
+            size, 200.0,
             warmup_packets=8000, measure_packets=6000, include_absorbed=True,
         )
 
