@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache serve-smoke verify-fw ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache bench-fluid serve-smoke verify-fw ci lint examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,7 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/kernel_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
+	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -q
 
 # Lint + bytecode-compile; ruff is optional locally (CI always has it).
@@ -66,6 +67,11 @@ bench-cpu:
 # Replay-cache probe on its own (cache off vs on, parity + speedup)
 bench-cache:
 	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
+
+# Fluid fast-forward probe on its own (byte parity at equal windows +
+# effective-speedup floor on a long steady-state run)
+bench-fluid:
+	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

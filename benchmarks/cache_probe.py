@@ -24,7 +24,11 @@ import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import FLOOR_REPLAY_HIT_RATE, FLOOR_REPLAY_SPEEDUP  # noqa: E402
+from conftest import (  # noqa: E402
+    FLOOR_REPLAY_HIT_RATE,
+    FLOOR_REPLAY_SPEEDUP,
+    persist_probe_json,
+)
 
 from repro.accel import (  # noqa: E402
     IpBlacklistMatcher,
@@ -115,6 +119,17 @@ def main() -> int:
     os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
     with open(RESULTS_PATH, "w") as fh:
         fh.write(report + "\n")
+    persist_probe_json("cache_probe", {
+        "packets": MEASURE_PACKETS,
+        "packet_size": PACKET_SIZE,
+        "n_rpus": N_RPUS,
+        "us_per_packet_off": us_off,
+        "us_per_packet_on": us_on,
+        "speedup": speedup,
+        "hit_rate": hit_rate,
+        "floor_speedup": FLOOR_REPLAY_SPEEDUP,
+        "floor_hit_rate": FLOOR_REPLAY_HIT_RATE,
+    })
 
     if speedup < FLOOR_REPLAY_SPEEDUP:
         print(f"FAIL: speedup {speedup:.2f}x under floor "

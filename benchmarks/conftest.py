@@ -8,6 +8,7 @@ writes them under ``benchmarks/results/``, and asserts the shape
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -45,6 +46,28 @@ FLOOR_VERIFY_SECONDS = 20.0 if REPRO_CI else 5.0
 #: (results must be byte-identical; only the pump-per-event bookkeeping
 #: may cost anything).  0.10 = at most 10% slower locally.
 FLOOR_SERVE_OVERHEAD = 0.50 if REPRO_CI else 0.10
+#: fluid_probe.py: effective-speedup floor for the fluid fast-forward
+#: tier on a steady-state forwarder run (simulated packets per
+#: wall-clock second, fluid vs pure event on the same spec).  The
+#: arithmetic skip must beat event simulation by a wide margin locally;
+#: CI keeps an order-of-magnitude guard.
+FLOOR_FLUID_SPEEDUP = 10.0 if REPRO_CI else 50.0
+
+
+def persist_probe_json(name: str, metrics: dict) -> Path:
+    """Write one probe's metrics as a schema-stamped JSON document.
+
+    Every ``make bench-smoke`` probe prints its table *and* persists its
+    numbers under ``benchmarks/results/<name>.json`` so regressions can
+    be diffed across runs instead of scraped from CI logs.
+    """
+    from repro.schema import stamp
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = stamp({"probe": name, "ci": REPRO_CI, "metrics": metrics}, "repro-bench")
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -58,6 +81,7 @@ def perf_floors():
         "replay_hit_rate": FLOOR_REPLAY_HIT_RATE,
         "verify_seconds": FLOOR_VERIFY_SECONDS,
         "serve_overhead": FLOOR_SERVE_OVERHEAD,
+        "fluid_speedup": FLOOR_FLUID_SPEEDUP,
     }
 
 

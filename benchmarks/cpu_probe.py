@@ -25,7 +25,11 @@ import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import FLOOR_SPEEDUP, FLOOR_TRANSLATED_IPS  # noqa: E402
+from conftest import (  # noqa: E402
+    FLOOR_SPEEDUP,
+    FLOOR_TRANSLATED_IPS,
+    persist_probe_json,
+)
 
 from repro.core.funcsim import FunctionalRpu  # noqa: E402
 from repro.firmware import FORWARDER_ASM  # noqa: E402
@@ -81,6 +85,16 @@ def main() -> int:
           f"({instret['translated']} instructions/rep)")
     print(f"  speedup    : {speedup:.2f}x")
 
+    persist_probe_json("cpu_probe", {
+        "packets": BATCH * BATCHES,
+        "packet_size": PACKET_SIZE,
+        "interp_ips": best["interp"],
+        "translated_ips": best["translated"],
+        "speedup": speedup,
+        "floor_speedup": FLOOR_SPEEDUP,
+        "floor_translated_ips": FLOOR_TRANSLATED_IPS,
+        "backends_agree": sent["translated"] == sent["interp"],
+    })
     if sent["translated"] != sent["interp"]:
         print("FAIL: backends disagree on sent packets/timestamps")
         return 1

@@ -1,0 +1,123 @@
+"""Standalone fluid fast-forward probe for ``make bench-fluid``.
+
+Two checks, one steady-state forwarder spec:
+
+1. **Parity.**  At an identical (small) measurement window, the fluid
+   run's system counters, events-processed count, and RPU packet
+   distribution must be byte-identical to the pure event run, and the
+   achieved rates must agree to the declared float tolerance.
+2. **Speedup.**  At a large window (where fluid amortizes detection),
+   effective simulated-packets-per-wall-second of the fluid run must
+   beat the event run — measured at a smaller event window and scaled,
+   so the probe stays fast — by at least ``FLOOR_FLUID_SPEEDUP``.
+
+Metrics are persisted as schema-stamped JSON under
+``benchmarks/results/`` like every other bench-smoke probe.
+"""
+
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import FLOOR_FLUID_SPEEDUP, persist_probe_json  # noqa: E402
+
+from repro.analysis import ExperimentSpec, MeasurementWindow, TrafficProfile  # noqa: E402
+from repro.serve.session import SimSession  # noqa: E402
+
+#: window for the byte-parity check (both tiers run it in full)
+PARITY_PACKETS = 20_000
+#: window for the fluid timing leg (fluid makes this nearly free)
+FLUID_PACKETS = 400_000
+#: window for the event timing leg (scaled up to FLUID_PACKETS)
+EVENT_PACKETS = 20_000
+
+
+def _spec(measure_packets: int, fidelity: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        traffic=TrafficProfile(packet_size=512, offered_gbps=200.0, n_ports=2),
+        window=MeasurementWindow(
+            warmup_packets=2000,
+            measure_packets=measure_packets,
+            max_cycles=5e9,
+        ),
+        fidelity=fidelity,
+    )
+
+
+def _timed_run(spec: ExperimentSpec):
+    t0 = time.perf_counter()
+    session = SimSession(spec)
+    result = session.run_to_completion()
+    return result, session, time.perf_counter() - t0
+
+
+def main() -> int:
+    # -- parity leg ----------------------------------------------------
+    rf, sf, _ = _timed_run(_spec(PARITY_PACKETS, "fluid"))
+    re, se, _ = _timed_run(_spec(PARITY_PACKETS, "event"))
+    failures = []
+    if rf.counters != re.counters:
+        failures.append(f"counters diverge: {rf.counters} != {re.counters}")
+    if sf.sim.events_processed != se.sim.events_processed:
+        failures.append(
+            f"events_processed diverge: {sf.sim.events_processed} "
+            f"!= {se.sim.events_processed}"
+        )
+    if rf.throughput.rpu_packet_counts != re.throughput.rpu_packet_counts:
+        failures.append("per-RPU packet distribution diverges")
+    for attr in ("achieved_gbps", "achieved_mpps"):
+        a, b = getattr(rf.throughput, attr), getattr(re.throughput, attr)
+        if not math.isclose(a, b, rel_tol=1e-6):
+            failures.append(f"{attr} outside tolerance: {a} vs {b}")
+    if not rf.fluid["engaged"]:
+        failures.append(f"fluid tier never engaged: {rf.fluid['reasons']}")
+
+    # -- timing leg ----------------------------------------------------
+    rfl, _, t_fluid = _timed_run(_spec(FLUID_PACKETS, "fluid"))
+    _, _, t_event_small = _timed_run(_spec(EVENT_PACKETS, "event"))
+    # event cost is linear in packets: scale the measured small window
+    t_event = t_event_small * (FLUID_PACKETS / EVENT_PACKETS)
+    speedup = t_event / t_fluid if t_fluid > 0 else float("inf")
+
+    occupancy = rfl.fluid["occupancy"]["fluid"]
+    print(f"fluid probe: {FLUID_PACKETS:,} packets")
+    print(f"  fluid wall           {t_fluid:8.3f} s "
+          f"(occupancy {100 * occupancy:.1f}% fluid, "
+          f"{rfl.fluid['warps']} warps)")
+    print(f"  event wall (scaled)  {t_event:8.3f} s "
+          f"(measured {t_event_small:.3f} s at {EVENT_PACKETS:,})")
+    print(f"  effective speedup    {speedup:8.1f}x  (floor {FLOOR_FLUID_SPEEDUP}x)")
+
+    if speedup < FLOOR_FLUID_SPEEDUP:
+        failures.append(
+            f"speedup {speedup:.1f}x under floor {FLOOR_FLUID_SPEEDUP}x"
+        )
+
+    persist_probe_json("fluid_probe", {
+        "parity_packets": PARITY_PACKETS,
+        "fluid_packets": FLUID_PACKETS,
+        "event_packets": EVENT_PACKETS,
+        "t_fluid_s": t_fluid,
+        "t_event_scaled_s": t_event,
+        "t_event_measured_s": t_event_small,
+        "speedup": speedup,
+        "floor": FLOOR_FLUID_SPEEDUP,
+        "fluid_occupancy": occupancy,
+        "warps": rfl.fluid["warps"],
+        "periods_warped": rfl.fluid["periods_warped"],
+        "counters_identical": rf.counters == re.counters,
+        "failures": failures,
+    })
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("fluid probe OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import FLOOR_EVENTS_PER_SEC  # noqa: E402
+from conftest import FLOOR_EVENTS_PER_SEC, persist_probe_json  # noqa: E402
 
 from repro.sim import Simulator  # noqa: E402
 
@@ -30,6 +30,12 @@ def main() -> int:
         chain(EVENTS // 8)
     profile = sim.run_profile()
     print(profile.format())
+    persist_probe_json("kernel_probe", {
+        "events": EVENTS,
+        "events_processed": profile.events_processed,
+        "events_per_sec": profile.events_per_sec,
+        "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+    })
     if profile.events_processed != EVENTS:
         print(f"FAIL: processed {profile.events_processed} != {EVENTS}")
         return 1

@@ -19,7 +19,7 @@ import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import FLOOR_SERVE_OVERHEAD  # noqa: E402
+from conftest import FLOOR_SERVE_OVERHEAD, persist_probe_json  # noqa: E402
 
 from repro import (  # noqa: E402
     ExperimentSpec,
@@ -98,6 +98,17 @@ def main() -> int:
     os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
     with open(RESULTS_PATH, "w") as fh:
         fh.write(report + "\n")
+    persist_probe_json("serve_probe", {
+        "packets": WARMUP + MEASURE,
+        "packet_size": PACKET_SIZE,
+        "n_rpus": N_RPUS,
+        "batch_s": best_batch,
+        "stepped_s": best_stepped,
+        "overhead": overhead,
+        "ceiling": FLOOR_SERVE_OVERHEAD,
+        "snapshots": snapshots,
+        "results_identical": batch_json == stepped_json,
+    })
 
     if overhead > FLOOR_SERVE_OVERHEAD:
         print(f"FAIL: stepper overhead {100 * overhead:.1f}% over ceiling "

@@ -22,7 +22,7 @@ import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import FLOOR_VERIFY_SECONDS  # noqa: E402
+from conftest import FLOOR_VERIFY_SECONDS, persist_probe_json  # noqa: E402
 
 from repro.verify import verify_all  # noqa: E402
 
@@ -42,6 +42,12 @@ def main() -> int:
 
     print(f"\nverified {len(reports)} firmwares in {elapsed:.2f}s "
           f"(floor {FLOOR_VERIFY_SECONDS:.0f}s)")
+    persist_probe_json("verify_probe", {
+        "firmwares": len(reports),
+        "elapsed_s": elapsed,
+        "ceiling_s": FLOOR_VERIFY_SECONDS,
+        "failed": failed,
+    })
     if failed:
         print(f"FAIL: {failed} miss their documented line-rate budget")
         return 1

@@ -40,7 +40,8 @@ from ..faults.spec import FaultSpec
 #: v3: faults field (repro.faults chaos campaigns + resilience report).
 #: v4: replay_cache field (packet-class firmware memoization).
 #: v5: verify field (static pre-flight: WCET budget + replay lint).
-SPEC_VERSION = 5
+#: v6: fidelity field (fluid fast-forward tier, repro.fluid).
+SPEC_VERSION = 6
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -246,6 +247,13 @@ class ExperimentSpec:
     #: as a synonym for "fail".  Sweeps with verify="fail" surface an
     #: infeasible point as a per-point error before burning pool time.
     verify: Any = False
+    #: simulation fidelity tier: "event" (pure discrete-event) or
+    #: "fluid" (repro.fluid fast-forward — provably repetitive periods
+    #: are skipped arithmetically; integer counters stay byte-identical,
+    #: float-derived readings agree to declared tolerance).  Ineligible
+    #: specs under "fluid" silently run event-accurate, with the
+    #: reasons recorded in the result's ``fluid`` block.
+    fidelity: str = "event"
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -272,6 +280,10 @@ class ExperimentSpec:
             self.firmware_kwargs = tuple(sorted(self.firmware_kwargs.items()))
         if self.measure not in ("throughput", "latency"):
             raise SpecError(f"unknown measurement kind {self.measure!r}")
+        if self.fidelity not in ("event", "fluid"):
+            raise SpecError(
+                f"fidelity must be 'event' or 'fluid', not {self.fidelity!r}"
+            )
         if isinstance(self.lb, str) and self.lb not in LB_REGISTRY:
             raise SpecError(
                 f"unknown lb policy {self.lb!r}; choices: {sorted(LB_REGISTRY)}"
@@ -370,6 +382,7 @@ class ExperimentSpec:
             "faults": [f.to_dict() for f in self.faults],
             "replay_cache": self.replay_cache,
             "verify": self.verify,
+            "fidelity": self.fidelity,
         }
 
     def cache_key(self) -> str:
@@ -409,6 +422,11 @@ class ExperimentResult:
     #: from statistical comparisons: it describes simulator work saved,
     #: not network behaviour.
     replay: Optional[Dict[str, int]] = None
+    #: fluid-tier accounting (eligibility, warps, occupancy, de-opts),
+    #: or None for pure event runs.  Like ``replay``, excluded from
+    #: statistical comparisons: it describes simulator work saved, not
+    #: network behaviour.
+    fluid: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         from ..schema import stamp
@@ -426,6 +444,8 @@ class ExperimentResult:
             out["resilience"] = dict(self.resilience)
         if self.replay is not None:
             out["replay"] = dict(self.replay)
+        if self.fluid is not None:
+            out["fluid"] = dict(self.fluid)
         return stamp(out, "repro-result")
 
     @classmethod
@@ -449,4 +469,5 @@ class ExperimentResult:
             firmware_totals=data.get("firmware_totals", {}),
             resilience=data.get("resilience"),
             replay=data.get("replay"),
+            fluid=data.get("fluid"),
         )

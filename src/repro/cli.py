@@ -78,6 +78,28 @@ def _replay(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "replay_cache", False))
 
 
+def _fidelity(args: argparse.Namespace) -> str:
+    return getattr(args, "fidelity", None) or "event"
+
+
+def _print_fluid(outcome) -> None:
+    """One-line fluid-tier accounting after a point's main table."""
+    fluid = getattr(outcome, "fluid", None)
+    if fluid is None:
+        return
+    occ = fluid.get("occupancy", {})
+    line = (
+        f"fluid tier: eligible={fluid.get('eligible')} "
+        f"engaged={fluid.get('engaged')} warps={fluid.get('warps', 0)} "
+        f"occupancy fluid={100 * occ.get('fluid', 0.0):.1f}% "
+        f"event={100 * occ.get('event', 0.0):.1f}%"
+    )
+    reasons = fluid.get("reasons") or []
+    if reasons:
+        line += f" ({'; '.join(reasons)})"
+    print(line)
+
+
 def _replay_rate(replay: Dict[str, int]) -> float:
     lookups = sum(
         replay.get(k, 0) for k in ("hits", "misses", "fallbacks", "bypasses")
@@ -118,6 +140,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         lb=_lb(args),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -128,6 +151,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         title="basic_fw forwarding profile",
     ))
     _print_replay(outcome)
+    _print_fluid(outcome)
     return 0
 
 
@@ -148,6 +172,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
             measure="latency",
             cpu_backend=_backend(args),
             replay_cache=_replay(args),
+            fidelity=_fidelity(args),
         )
         summary = run_experiment(spec).latency
         rows.append([size, summary["mean"], estimated_latency_us(size)])
@@ -174,6 +199,7 @@ def cmd_firewall(args: argparse.Namespace) -> int:
         include_absorbed=True,
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -184,6 +210,7 @@ def cmd_firewall(args: argparse.Namespace) -> int:
         title=f"firewall ({args.rules} blacklist entries, {args.rpus} RPUs)",
     ))
     _print_replay(outcome)
+    _print_fluid(outcome)
     return 0
 
 
@@ -213,6 +240,7 @@ def cmd_ids(args: argparse.Namespace) -> int:
         lb=lb,
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -223,6 +251,7 @@ def cmd_ids(args: argparse.Namespace) -> int:
         title=f"pigasus IPS ({args.rules} rules, {args.rpus} RPUs)",
     ))
     _print_replay(outcome)
+    _print_fluid(outcome)
     return 0
 
 
@@ -243,6 +272,7 @@ def _sweep_spec(args: argparse.Namespace, rpus: int, size: int, gbps: float) -> 
         lb=_lb(args, default="hash" if args.firmware == "nat" else None),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
         name=f"{args.firmware} rpus={rpus} size={size} gbps={gbps:g}",
     )
 
@@ -283,6 +313,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 t.achieved_gbps, t.achieved_mpps, 100 * t.fraction_of_line,
                 point.status,
             ])
+            fluid = point.result.fluid
             row: Dict[str, Any] = {
                 "rpus": spec.config.n_rpus,
                 "size": t.packet_size,
@@ -291,6 +322,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "achieved_mpps": t.achieved_mpps,
                 "pct_of_line": 100 * t.fraction_of_line,
                 "status": point.status,
+                # per-point fidelity occupancy: fraction of simulated
+                # time each tier covered (0 fluid for pure event runs)
+                "fidelity": spec.fidelity,
+                "fluid_occupancy": (
+                    fluid["occupancy"]["fluid"] if fluid is not None else 0.0
+                ),
             }
             replay = point.result.replay
             if replay is not None:
@@ -365,6 +402,7 @@ def cmd_nat(args: argparse.Namespace) -> int:
         lb=_lb(args, default="hash"),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -375,6 +413,7 @@ def cmd_nat(args: argparse.Namespace) -> int:
         title=f"NAT middlebox ({args.rpus} RPUs, {spec.lb or 'hash'} LB)",
     ))
     _print_replay(outcome)
+    _print_fluid(outcome)
     return 0
 
 
@@ -458,6 +497,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         lb=_lb(args),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
         faults=faults,
     )
     outcome = run_experiment(spec)
@@ -488,6 +528,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"link drops: {mac.get('rx_link_drops', 0)}; "
           f"poisoned accel results: {resilience.get('accel_results_poisoned', 0)}")
     _print_replay(outcome)
+    _print_fluid(outcome)
     if args.json:
         import json as _json
 
@@ -515,6 +556,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         setup=functools.partial(_loopback_setup, args.rpus),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
     )
     outcome = run_experiment(spec)
     result = outcome.throughput
@@ -525,6 +567,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         title="two-step forwarding over the loopback port",
     ))
     _print_replay(outcome)
+    _print_fluid(outcome)
     return 0
 
 
@@ -715,6 +758,11 @@ def _common_parser() -> argparse.ArgumentParser:
     common.add_argument("--cpu-backend", choices=["interp", "translated"],
                         default=None,
                         help="ISS execution backend (default: translated)")
+    common.add_argument("--fidelity", choices=["event", "fluid"], default=None,
+                        help="simulation fidelity tier: event (pure "
+                             "discrete-event) or fluid (skip provably "
+                             "repetitive steady-state periods arithmetically; "
+                             "counters stay byte-identical)")
     return common
 
 

@@ -122,12 +122,21 @@ class RosebudSystem:
         #: optional hook on every MAC TX completion
         self.on_delivery: Optional[Callable[[Packet], None]] = None
 
+        #: fluid fast-forward support: when enabled, every in-flight
+        #: packet is registered so a clock warp can translate its
+        #: absolute timestamps (born_at feeds the latency histogram).
+        #: Off by default — the hot path pays nothing.
+        self.track_live_packets = False
+        self._live_packets: dict = {}
+
     # -- traffic entry -------------------------------------------------------------
 
     def offer_packet(self, port: int, packet: Packet) -> None:
         """A frame starts arriving at physical port ``port``."""
         packet.born_at = self.sim.now
         packet.ingress_port = port
+        if self.track_live_packets:
+            self._live_packets[packet.packet_id] = packet
         self.macs[port].receive(packet)
 
     # -- wiring callbacks ------------------------------------------------------------
@@ -140,6 +149,8 @@ class RosebudSystem:
 
     def _make_tx_done(self, port: int) -> Callable[[Packet], None]:
         def tx_done(packet: Packet) -> None:
+            if self.track_live_packets:
+                self._live_packets.pop(packet.packet_id, None)
             self.counters.add("delivered")
             self.tx_meters[port].record_packet(packet.size)
             latency_cycles = self.sim.now - packet.born_at
@@ -173,6 +184,8 @@ class RosebudSystem:
     def _rpu_action(self, packet: Packet, result: FirmwareResult, rpu_index: int) -> None:
         packet.route = result
         if result.action == ACTION_DROP:
+            if self.track_live_packets:
+                self._live_packets.pop(packet.packet_id, None)
             self.counters.add("dropped_by_firmware")
             self._free_slot(rpu_index, packet.slot)
             return
@@ -229,6 +242,8 @@ class RosebudSystem:
         self.fabric_in.send_to_rpu(packet, input_class="loopback")
 
     def _host_received(self, packet: Packet) -> None:
+        if self.track_live_packets:
+            self._live_packets.pop(packet.packet_id, None)
         self.counters.add("to_host")
         self.host_meter.record_packet(packet.size)
         self._record_host(packet)
@@ -262,6 +277,27 @@ class RosebudSystem:
             if rpu.replay_cache is not None:
                 return rpu.replay_cache.stats
         return None
+
+    # -- fluid fast-forward (repro.fluid) -----------------------------------------------
+
+    def shift_live_packets(self, delta: float) -> int:
+        """Translate every in-flight packet's absolute timestamps by
+        ``delta`` (a clock warp moved the simulation's epoch).  Packets
+        that were dropped at the MAC level (their drop path does not
+        come back through the system callbacks) are pruned lazily here.
+        Returns the number of live packets shifted."""
+        dead = [
+            pid for pid, packet in self._live_packets.items() if packet.dropped
+        ]
+        for pid in dead:
+            del self._live_packets[pid]
+        for packet in self._live_packets.values():
+            packet.born_at += delta
+            if packet.timestamps:
+                for key in packet.timestamps:
+                    if key != "egress_rpu":  # an RPU index, not a time
+                        packet.timestamps[key] += delta
+        return len(self._live_packets)
 
     # -- running ----------------------------------------------------------------------
 

@@ -1,0 +1,498 @@
+"""The fluid fast-forward engine: queue-level arithmetic over proven periods.
+
+Event simulation of a steady-state middlebox burns most of its cycles
+re-deriving a pattern that repeats exactly: the same packet classes, the
+same queue occupancies, the same arbiter decisions, period after period.
+This engine detects that repetition *empirically* and then replaces
+whole periods with arithmetic:
+
+1. **Boundary capture.** After every emission event of the reference
+   source whose ``sent`` counter crosses a multiple of its template
+   cycle length, the engine records a boundary: the congruence signature
+   (:func:`repro.fluid.signature.state_signature`), the value of every
+   integer counter cell, every float accumulator, and the latency
+   samples recorded since the previous boundary.
+
+2. **Period confirmation.** When the latest boundary's signature equals
+   the one ``j`` boundaries back *and* the one ``2j`` back, and the
+   integer-counter deltas across the two windows are **exactly** equal
+   (floats within 1e-6), the window is a proven period: the system's
+   discrete state is congruent and its observable effects repeat.
+
+3. **Warp.** At a confirmed boundary the engine advances the clock by
+   ``k`` whole periods in one step (:meth:`Simulator.warp`), adds
+   ``k x delta`` to every ledger cell — counters, meters, busy-time,
+   ``events_processed`` — shifts in-flight packet timestamps and RPU
+   progress marks, and bulk-records ``k`` copies of the period's latency
+   samples.  Integer counters after a warp are **byte-identical** to
+   what event simulation would have produced; float-derived readings
+   agree to ~1e-9 relative (clock ulp accumulation).
+
+``k`` is capped so that every externally meaningful transition — a
+measurement phase change, an ``until_ts`` bound, any scheduled event
+beyond the periodicity horizon (fault triggers, watchdog polls) — still
+happens *event-wise* at its exact event boundary.  Anything aperiodic
+therefore de-optimizes the engine naturally: a control action or
+injection calls :meth:`FluidEngine.notify_transient`, a drifting queue
+changes the signature, and either way the engine falls back to pure
+event simulation until a new steady state is proven.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .signature import state_signature
+
+#: boundaries kept for period detection; max detectable period spans
+#: ``_RING_LEN // 2`` boundaries
+_RING_LEN = 10
+#: de-opt records kept in stats
+_MAX_DEOPTS = 16
+#: relative tolerance for float cells / period durations across windows
+_FLOAT_RTOL = 1e-6
+
+
+@dataclass
+class _Boundary:
+    time: float
+    signature: Optional[Tuple]
+    ints: Tuple[int, ...]
+    floats: Tuple[float, ...]
+    completions: Optional[int]
+    host_rx_len: int
+    hist_id: int
+    hist_len: int
+    hist_slice: Optional[Tuple[float, ...]]
+
+
+@dataclass
+class _Steady:
+    """A proven period: duration plus the per-period ledger deltas."""
+
+    period: float
+    sig: Tuple
+    int_deltas: Tuple[int, ...]
+    float_deltas: Tuple[float, ...]
+    completions_delta: Optional[int]
+    period_samples: Tuple[float, ...]
+    horizon: float
+
+
+class FluidEngine:
+    """Fourth fidelity tier, attached to one :class:`SimSession`."""
+
+    def __init__(self, session, gate) -> None:
+        self.session = session
+        self.system = session.system
+        self.sim = session.system.sim
+        self.gate = gate
+        self.enabled = gate.eligible
+        self.reasons: List[str] = list(gate.reasons)
+        self.sources: List[Any] = []
+
+        # -- dynamic structural eligibility --------------------------------
+        for feed in session._feeds:
+            source = getattr(feed, "source", None)
+            if source is None:
+                self._block(f"feed {type(feed).__name__} is not introspectable")
+                break
+            self.sources.append(source)
+        if self.enabled and not self.sources:
+            self._block("no traffic sources attached")
+        for src in self.sources:
+            if not self.enabled:
+                break
+            if src.fluid_profile() is None:
+                self._block(f"{type(src).__name__} emission is not provably periodic")
+            elif getattr(src, "n_packets", None) is not None:
+                self._block("finite source drains; no steady state exists")
+        if self.enabled and self.system.keep_delivered:
+            self._block("keep_delivered retains per-packet state")
+        if self.enabled and self.system.on_delivery is not None:
+            self._block("on_delivery callback observes individual packets")
+
+        if self.enabled:
+            # latency continuity across warps needs live-packet tracking
+            self.system.track_live_packets = True
+
+        # -- stats ----------------------------------------------------------
+        self.warps = 0
+        self.periods_warped = 0
+        self.warped_cycles = 0.0
+        self.measured_pps: Optional[float] = None
+        self.deopts: List[Dict[str, Any]] = []
+
+        # -- detection state ------------------------------------------------
+        self._ring: List[_Boundary] = []
+        self._steady: Optional[_Steady] = None
+        self._armed = False
+        self._horizon: Optional[float] = None
+        self._last_boundary_sent = -1
+        self._boundary_src = self.sources[0] if self.sources else None
+        self._boundary_every = 0
+        if self.enabled and self._boundary_src is not None:
+            profile = self._boundary_src.fluid_profile()
+            self._boundary_every = max(1, profile[0])
+        self._int_cells: List[Tuple[str, Any, str]] = []
+        self._float_cells: List[Tuple[str, Any, str]] = []
+        if self.enabled:
+            self._build_cells()
+
+    # -- eligibility / de-opt ----------------------------------------------
+
+    def _block(self, reason: str) -> None:
+        self.enabled = False
+        self.reasons.append(reason)
+
+    def notify_transient(self, reason: str) -> None:
+        """A live control action / injection / new feed happened: discard
+        all periodicity evidence and recalibrate from scratch."""
+        if not self.enabled:
+            return
+        if self._ring or self._steady is not None:
+            if len(self.deopts) < _MAX_DEOPTS:
+                self.deopts.append({"t": self.sim.now, "reason": reason})
+        self._ring.clear()
+        self._steady = None
+        self._armed = False
+        self._horizon = None
+        # firmware/policy objects may have been swapped: re-enumerate cells
+        self._build_cells()
+
+    def notify_feed(self, feed) -> None:
+        """A feed was added mid-run: extend the source set or bail out."""
+        if not self.enabled:
+            return
+        source = getattr(feed, "source", None)
+        if source is None:
+            self._block(f"feed {type(feed).__name__} is not introspectable")
+        elif source.fluid_profile() is None:
+            self._block(f"{type(source).__name__} emission is not provably periodic")
+        elif getattr(source, "n_packets", None) is not None:
+            self._block("finite source drains; no steady state exists")
+        else:
+            self.sources.append(source)
+            self.notify_transient("feed added")
+
+    # -- ledger cells --------------------------------------------------------
+
+    def _build_cells(self) -> None:
+        """Enumerate every integer counter and float accumulator that event
+        simulation would advance during a period.  The warp adds
+        ``k x per-period-delta`` to each, so this inventory is exactly the
+        engine's claim of observational equivalence."""
+        system = self.system
+        ints: List[Tuple[str, Any, str]] = []
+        floats: List[Tuple[str, Any, str]] = []
+
+        def counters(label: str, cset) -> None:
+            for name in sorted(cset._counters):
+                ints.append((f"{label}.{name}", cset._counters[name], "value"))
+
+        def link(label: str, serial) -> None:
+            counters(f"{label}.ctr", serial.counters)
+            counters(f"{label}.q", serial.queue.counters)
+            floats.append((f"{label}.busy_time", serial, "busy_time"))
+
+        ints.append(("sim.events_processed", self.sim, "events_processed"))
+        counters("system", system.counters)
+        for i, mac in enumerate(system.macs):
+            counters(f"mac{i}", mac.counters)
+            counters(f"mac{i}.rx_fifo", mac.rx_fifo.counters)
+            link(f"mac{i}.rx_link", mac._rx_link)
+            link(f"mac{i}.tx_link", mac._tx_link)
+        for i, ing in enumerate(system.port_ingress):
+            counters(f"ingress{i}", ing.counters)
+        for tag, fabric in (("in", system.fabric_in), ("out", system.fabric_out)):
+            for i, sw in enumerate(fabric.cluster_switches):
+                counters(f"fabric_{tag}.sw{i}", sw.counters)
+            for i, rl in enumerate(fabric.rpu_links):
+                link(f"fabric_{tag}.rpu_link{i}", rl.link)
+        link("host_link", system.host_link)
+        link("loopback", system.loopback.link)
+        for name in ("dispatched", "deferred"):
+            ints.append((f"lb.{name}", system.lb, name))
+        for i, rpu in enumerate(system.rpus):
+            counters(f"rpu{i}", rpu.counters)
+            for attr in sorted(vars(rpu.firmware)):
+                value = getattr(rpu.firmware, attr)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    ints.append((f"rpu{i}.fw.{attr}", rpu.firmware, attr))
+        for i, meter in enumerate(system.tx_meters):
+            ints.append((f"tx_meter{i}.bytes", meter, "bytes_total"))
+            ints.append((f"tx_meter{i}.packets", meter, "packets_total"))
+        ints.append(("host_meter.bytes", system.host_meter, "bytes_total"))
+        ints.append(("host_meter.packets", system.host_meter, "packets_total"))
+        stats = system.replay_stats()
+        if stats is not None:
+            for attr in ("hits", "misses", "fallbacks", "bypasses", "invalidations"):
+                ints.append((f"replay.{attr}", stats, attr))
+        for src in self.sources:
+            ints.append((f"src.p{src.port}.sent", src, "sent"))
+
+        self._int_cells = ints
+        self._float_cells = floats
+
+    def _read_ints(self) -> Tuple[int, ...]:
+        return tuple(getattr(obj, attr) for _l, obj, attr in self._int_cells)
+
+    def _read_floats(self) -> Tuple[float, ...]:
+        return tuple(getattr(obj, attr) for _l, obj, attr in self._float_cells)
+
+    # -- boundary capture & period confirmation ------------------------------
+
+    def after_event(self) -> None:
+        """Called by the session after every fired event; captures a
+        boundary whenever the reference source just completed a template
+        cycle, and un-arms the warp otherwise (any event between
+        boundaries means the next warp decision needs a fresh match)."""
+        if not self.enabled:
+            return
+        sent = self._boundary_src.sent
+        if sent != self._last_boundary_sent and sent % self._boundary_every == 0:
+            self._last_boundary_sent = sent
+            self._capture_boundary()
+        else:
+            self._armed = False
+
+    def _capture_boundary(self) -> None:
+        ring = self._ring
+        now = self.sim.now
+        self._armed = False
+        if self._horizon is None and ring:
+            spacing = now - ring[-1].time
+            if spacing <= 0:
+                self.notify_transient("non-positive boundary spacing")
+                return
+            # events recurring within ~2 periods are part of the pattern;
+            # anything further out is a one-shot appointment we warp up to
+            self._horizon = 2.0 * spacing
+
+        sig = None
+        if self._horizon is not None:
+            sig = state_signature(self.system, self.sources, self._horizon)
+
+        hist = self.system.latency_us
+        hist_id = id(hist)
+        hist_len = hist.raw_count
+        hist_slice: Optional[Tuple[float, ...]] = None
+        if ring and ring[-1].hist_id == hist_id and hist_len >= ring[-1].hist_len:
+            hist_slice = tuple(hist.samples_tail(ring[-1].hist_len))
+
+        driver = self.session._measurement
+        completions = driver.completions() if driver is not None else None
+
+        ring.append(
+            _Boundary(
+                time=now,
+                signature=sig,
+                ints=self._read_ints(),
+                floats=self._read_floats(),
+                completions=completions,
+                host_rx_len=len(self.system.host_rx),
+                hist_id=hist_id,
+                hist_len=hist_len,
+                hist_slice=hist_slice,
+            )
+        )
+        if len(ring) > _RING_LEN:
+            ring.pop(0)
+        if sig is None:
+            return
+        self._try_confirm()
+        if not self._armed and self._steady is not None and sig == self._steady.sig:
+            # congruent with the proven period even though this window
+            # didn't re-confirm (e.g. right after a warp reset the ring)
+            self._armed = True
+
+    def _try_confirm(self) -> None:
+        ring = self._ring
+        for j in range(1, (len(ring) - 1) // 2 + 1):
+            a, b, c = ring[-1], ring[-1 - j], ring[-1 - 2 * j]
+            if a.signature is None or a.signature != b.signature:
+                continue
+            if b.signature != c.signature:
+                continue
+            d_ab = tuple(x - y for x, y in zip(a.ints, b.ints))
+            d_bc = tuple(x - y for x, y in zip(b.ints, c.ints))
+            if d_ab != d_bc:
+                continue
+            p_ab = a.time - b.time
+            p_bc = b.time - c.time
+            if p_ab <= 0 or not math.isclose(p_ab, p_bc, rel_tol=_FLOAT_RTOL):
+                continue
+            f_ab = tuple(x - y for x, y in zip(a.floats, b.floats))
+            f_bc = tuple(x - y for x, y in zip(b.floats, c.floats))
+            if any(
+                not math.isclose(x, y, rel_tol=_FLOAT_RTOL, abs_tol=1e-6)
+                for x, y in zip(f_ab, f_bc)
+            ):
+                continue
+            if a.host_rx_len != b.host_rx_len:
+                # host_rx accumulates real packet objects; extrapolating a
+                # growing list is not possible, so never warp across it
+                continue
+            samples = self._window_samples(j)
+            if samples is None:
+                continue
+            completions_delta = None
+            if a.completions is not None and b.completions is not None:
+                completions_delta = a.completions - b.completions
+            steady = _Steady(
+                period=p_ab,
+                sig=a.signature,
+                int_deltas=d_ab,
+                float_deltas=f_ab,
+                completions_delta=completions_delta,
+                period_samples=samples,
+                horizon=self._horizon,
+            )
+            if not self._feasible(steady):
+                continue
+            self._steady = steady
+            self._armed = True
+            return
+
+    def _window_samples(self, j: int) -> Optional[Tuple[float, ...]]:
+        """Latency samples recorded across the last ``j`` boundaries, or
+        None if any slice is unusable (histogram swapped mid-window)."""
+        out: List[float] = []
+        hist_id = self._ring[-1].hist_id
+        for boundary in self._ring[-j:]:
+            if boundary.hist_slice is None or boundary.hist_id != hist_id:
+                return None
+            out.extend(boundary.hist_slice)
+        return tuple(out)
+
+    def _feasible(self, steady: _Steady) -> bool:
+        """Cross-check the observed period against the static WCET budget:
+        a measured rate above the verified analytic bound would mean the
+        period evidence contradicts the proof, so refuse to engage."""
+        if steady.completions_delta is None or steady.completions_delta <= 0:
+            self.measured_pps = None
+            return True
+        seconds = self.system.config.clock.cycles_to_seconds(steady.period)
+        if seconds <= 0:
+            return False
+        self.measured_pps = steady.completions_delta / seconds
+        analytic = self.gate.analytic_pps
+        if analytic is not None and self.measured_pps > analytic * 1.01:
+            self._block(
+                f"measured {self.measured_pps:.3e} pps exceeds analytic "
+                f"WCET bound {analytic:.3e} pps"
+            )
+            return False
+        return True
+
+    # -- the warp ------------------------------------------------------------
+
+    def pre_step(self, until_ts: Optional[float] = None) -> bool:
+        """If armed at a confirmed boundary, warp as many whole periods as
+        the caps allow.  Returns True when time was skipped (the caller
+        re-enters its pump/step loop without firing an event)."""
+        if not (self.enabled and self._armed and self._steady is not None):
+            return False
+        st = self._steady
+        now = self.sim.now
+        caps: List[int] = []
+
+        driver = self.session._measurement
+        if driver is not None and not driver.done:
+            if st.completions_delta is not None and st.completions_delta > 0:
+                # stop one completion short of every phase transition so
+                # the transition itself is crossed event-wise: baselines
+                # and final readings land on exact event boundaries
+                room = driver.target() - 1 - driver.completions()
+                caps.append(room // st.completions_delta)
+            caps.append(int((driver.deadline - now) / st.period))
+        if until_ts is not None:
+            caps.append(int((until_ts - now) / st.period))
+        if not caps:
+            # free-running session with no bound: nothing requests the
+            # future, so there is no budget to warp against
+            return False
+
+        far_min: Optional[float] = None
+        for t, _name in self.sim.iter_pending():
+            if t - now > st.horizon and (far_min is None or t < far_min):
+                far_min = t
+        if far_min is not None:
+            k_far = int((far_min - now) / st.period)
+            while k_far > 0 and now + k_far * st.period >= far_min:
+                k_far -= 1
+            caps.append(k_far)
+
+        k = min(caps)
+        if k < 1:
+            return False
+        self._warp(k, far_min)
+        return True
+
+    def _warp(self, k: int, far_min: Optional[float]) -> None:
+        st = self._steady
+        delta = k * st.period
+        freeze_after = None if far_min is None else self.sim.now + st.horizon
+        self.sim.warp(delta, freeze_after=freeze_after)
+
+        for (label, obj, attr), d in zip(self._int_cells, st.int_deltas):
+            if d:
+                setattr(obj, attr, getattr(obj, attr) + k * d)
+        for (label, obj, attr), d in zip(self._float_cells, st.float_deltas):
+            if d:
+                setattr(obj, attr, getattr(obj, attr) + k * d)
+        for rpu in self.system.rpus:
+            rpu.last_progress += delta
+        self.system.shift_live_packets(delta)
+        if st.period_samples:
+            self.system.latency_us.record_repeated(st.period_samples, k)
+
+        # translate the boundary ring into the warped frame so the very
+        # next event-wise boundary re-confirms against it (otherwise every
+        # warp would cost 2j periods of re-detection)
+        for boundary in self._ring:
+            boundary.time += delta
+            boundary.ints = tuple(
+                v + k * d for v, d in zip(boundary.ints, st.int_deltas)
+            )
+            boundary.floats = tuple(
+                v + k * d for v, d in zip(boundary.floats, st.float_deltas)
+            )
+            if boundary.completions is not None and st.completions_delta is not None:
+                boundary.completions += k * st.completions_delta
+
+        self.warps += 1
+        self.periods_warped += k
+        self.warped_cycles += delta
+        self._armed = False  # next boundary must re-match before warping again
+
+    # -- reporting -----------------------------------------------------------
+
+    def occupancy(self) -> Dict[str, float]:
+        now = self.sim.now
+        fluid = self.warped_cycles / now if now > 0 else 0.0
+        return {"event": 1.0 - fluid, "fluid": fluid}
+
+    def stats(self) -> Dict[str, Any]:
+        st = self._steady
+        return {
+            "requested": True,
+            "eligible": self.enabled,
+            "engaged": self.warps > 0,
+            "reasons": list(self.reasons),
+            "warps": self.warps,
+            "periods_warped": self.periods_warped,
+            "warped_cycles": self.warped_cycles,
+            "occupancy": self.occupancy(),
+            "period_cycles": st.period if st is not None else None,
+            "packets_per_period": (
+                st.completions_delta if st is not None else None
+            ),
+            "measured_pps": self.measured_pps,
+            "wcet_cycles": self.gate.wcet_cycles,
+            "analytic_pps": self.gate.analytic_pps,
+            "lint_classification": self.gate.lint_classification,
+            "deopts": list(self.deopts),
+        }

@@ -22,6 +22,7 @@ SCHEMAS: Dict[str, int] = {
     "repro-result": 1,
     "repro-verify": 1,
     "repro-serve": 1,
+    "repro-bench": 1,
 }
 
 

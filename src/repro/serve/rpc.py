@@ -129,6 +129,7 @@ def spec_from_params(params: Dict[str, Any]) -> ExperimentSpec:
         "replay_cache": bool(p.pop("replay_cache", False)),
         "include_absorbed": bool(p.pop("include_absorbed", name == "firewall")),
         "faults": tuple(p.pop("faults", ())),
+        "fidelity": p.pop("fidelity", "event"),
     }
     if "include_host" in p:
         spec_kwargs["include_host"] = bool(p.pop("include_host"))

@@ -193,8 +193,15 @@ class _ThroughputDriver(_MeasurementDriver):
             )
             tx_packets = self.window.measure_packets
 
-        achieved_gbps = tx_bytes * 8 / seconds / 1e9
-        achieved_mpps = tx_packets / seconds / 1e6
+        if seconds > 0:
+            achieved_gbps = tx_bytes * 8 / seconds / 1e9
+            achieved_mpps = tx_packets / seconds / 1e6
+        else:
+            # a zero-length measurement window (e.g. measure_packets=0
+            # drives both phase transitions through one pump() with no
+            # event in between): rates are undefined, report zero
+            achieved_gbps = 0.0
+            achieved_mpps = 0.0
         rpu_counts = [
             now - before
             for now, before in zip(system.rpu_packet_counts(), self._base_rpu)
@@ -277,6 +284,8 @@ class SimSession:
         self._replay_base: Dict[str, int] = {}
         self._snapshot_seq = 0
         self._last_rates: Optional[Dict[str, float]] = None
+        self._fluid = None
+        self._last_fidelity: Optional[Dict[str, float]] = None
 
         if spec is None:
             self.system = _system
@@ -329,6 +338,11 @@ class SimSession:
             self._controller = install_faults(self.system, spec.faults)
         self.spec_key = spec.cache_key()
         self._feeds = [SourceFeed(source) for source in sources]
+        if spec.fidelity == "fluid":
+            from ..fluid import FluidEngine
+            from ..verify.fluidgate import fluid_gate
+
+            self._fluid = FluidEngine(self, fluid_gate(spec))
 
     @classmethod
     def for_system(cls, system, sources: Sequence = ()) -> "SimSession":
@@ -364,6 +378,8 @@ class SimSession:
     def add_feed(self, feed: TrafficFeed, delay: float = 0.0) -> TrafficFeed:
         """Attach a traffic feed; starts immediately on a running session."""
         self._feeds.append(feed)
+        if self._fluid is not None:
+            self._fluid.notify_feed(feed)
         if self._started:
             feed.start(self, delay)
         return feed
@@ -414,6 +430,7 @@ class SimSession:
         fired = 0
         froze = False
         driver = self._measurement
+        fluid = self._fluid
         while True:
             if driver is not None and not driver.done:
                 driver.pump()
@@ -423,12 +440,18 @@ class SimSession:
                     break
             if n_events is not None and fired >= n_events:
                 break
+            if fluid is not None and fluid.pre_step(until_ts):
+                # time was warped analytically; re-enter the loop so the
+                # measurement pump observes the advanced ledger
+                continue
             upcoming = sim.peek()
             if upcoming is None:
                 break
             if until_ts is not None and upcoming > until_ts:
                 break
             sim.step()
+            if fluid is not None:
+                fluid.after_event()
             fired += 1
         if until_ts is not None and not froze and sim.now < until_ts:
             # no events left before the bound: advance the clock to it
@@ -456,12 +479,17 @@ class SimSession:
                 "call measure_throughput()/measure_latency()"
             )
         sim = self.sim
+        fluid = self._fluid
         while not driver.done:
             driver.pump()
             if driver.done:
                 break
+            if fluid is not None and fluid.pre_step(None):
+                continue
             driver.check_stall()
             sim.step()
+            if fluid is not None:
+                fluid.after_event()
         if self._result is None:
             self._finalize()
         return self._result
@@ -491,6 +519,8 @@ class SimSession:
         result.firmware_totals = _firmware_totals(self.system)
         if self._replay_cache is not None:
             result.replay = self._replay_cache.stats.delta(self._replay_base)
+        if self._fluid is not None:
+            result.fluid = self._fluid.stats()
         if self._controller is not None:
             from ..faults import resilience_report
 
@@ -572,6 +602,8 @@ class SimSession:
             else:
                 self.system.offer_packet(port, packet)
             count += 1
+        if count and self._fluid is not None:
+            self._fluid.notify_transient("inject")
         return count
 
     # -- control plane -----------------------------------------------------
@@ -585,6 +617,10 @@ class SimSession:
             )
             raise SessionError(f"unknown control action {action!r}; choices: {known}")
         out = handler(**params)
+        if self._fluid is not None:
+            # any control action is a transient: discard periodicity
+            # evidence and let the detector re-prove steady state
+            self._fluid.notify_transient(f"control:{action}")
         out["action"] = action
         out["t"] = self.sim.now
         return out
@@ -712,6 +748,34 @@ class SimSession:
 
     # -- telemetry ---------------------------------------------------------
 
+    def _fidelity_block(self, now: float) -> Dict[str, Any]:
+        """Per-window fidelity occupancy: what fraction of simulated time
+        since the previous snapshot each tier covered."""
+        warped = self._fluid.warped_cycles if self._fluid is not None else 0.0
+        window = {"event": 1.0, "fluid": 0.0}
+        if self._last_fidelity is not None:
+            dt = now - self._last_fidelity["t"]
+            dw = warped - self._last_fidelity["warped"]
+            if dt > 0:
+                frac = min(1.0, max(0.0, dw / dt))
+                window = {"event": 1.0 - frac, "fluid": frac}
+        self._last_fidelity = {"t": now, "warped": warped}
+        if self._fluid is None:
+            return {
+                "mode": "event",
+                "occupancy": {"event": 1.0, "fluid": 0.0},
+                "window": window,
+            }
+        return {
+            "mode": "fluid",
+            "eligible": self._fluid.enabled,
+            "engaged": self._fluid.warps > 0,
+            "occupancy": self._fluid.occupancy(),
+            "window": window,
+            "warps": self._fluid.warps,
+            "warped_cycles": self._fluid.warped_cycles,
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         """Rolling telemetry as a versioned (``repro-snapshot/1``) JSON
         document.  Every counter is cumulative, so consecutive snapshots
@@ -823,6 +887,7 @@ class SimSession:
                 "enabled": list(system.lb.enabled),
             },
             "rates": rates,
+            "fidelity": self._fidelity_block(now),
             "replay": replay,
             "measurement": (
                 self._measurement.status() if self._measurement is not None else None

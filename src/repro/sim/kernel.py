@@ -256,6 +256,82 @@ class Simulator:
             self._batch_pos = 0
             self._batch_time = next_time
 
+    def iter_pending(self) -> Iterator[Tuple[float, str]]:
+        """Yield ``(time, name)`` for every live pending event.
+
+        Non-destructive and unordered; cancelled events are skipped.
+        This is the introspection surface the fluid fast-forward engine
+        uses to fingerprint the queue and find far-future one-shots.
+        """
+        if self._batch_time is not None:
+            for event in self._batch[self._batch_pos:]:
+                if not event.cancelled:
+                    yield event.time, event.name
+        for bucket in self._buckets.values():
+            for event in bucket:
+                if not event.cancelled:
+                    yield event.time, event.name
+
+    def warp(self, delta: float, freeze_after: Optional[float] = None) -> None:
+        """Jump the clock forward by ``delta``, carrying pending events.
+
+        Every live event scheduled before ``freeze_after`` is shifted by
+        ``delta`` (preserving relative offsets and the ``(time, seq)``
+        firing order); events at or after ``freeze_after`` keep their
+        absolute times — they are one-shot appointments (fault triggers,
+        deadline timers) that must fire at the wall time they name.
+        With ``freeze_after=None`` everything shifts.
+
+        This is the *epoch skip* behind the fluid fast-forward tier: the
+        caller is asserting that the skipped interval would have been a
+        whole number of identical steady-state periods, so translating
+        the recurring event set by ``delta`` lands the simulation in a
+        state congruent to the one event-by-event execution would reach.
+        ``events_processed`` is untouched; the caller accounts for the
+        events it analytically skipped.
+
+        Cancelled events still stored are dropped as a side effect.
+        """
+        if delta <= 0:
+            raise SimulationError(f"warp delta must be positive (got {delta})")
+        new_now = self._now + delta
+        self._demote_batch()
+        if freeze_after is not None and freeze_after < new_now:
+            # frozen events keep absolute times, so none may end up in
+            # the past; check before mutating anything
+            for time_key in self._buckets:
+                if freeze_after <= time_key < new_now:
+                    raise SimulationError(
+                        f"warp to t={new_now} would jump past the frozen "
+                        f"event at t={time_key}"
+                    )
+        buckets: Dict[float, List[Event]] = {}
+        merged = False
+        for time_key, bucket in self._buckets.items():
+            live = [e for e in bucket if not e.cancelled]
+            if not live:
+                continue
+            if freeze_after is None or time_key < freeze_after:
+                time_key = time_key + delta
+                for event in live:
+                    event.time = time_key
+            existing = buckets.get(time_key)
+            if existing is None:
+                buckets[time_key] = live
+            else:
+                existing.extend(live)
+                merged = True
+        if merged:
+            # a shifted time collided with a frozen one: restore the
+            # (time, seq) invariant inside the merged bucket
+            for bucket in buckets.values():
+                bucket.sort(key=lambda e: e.seq)
+        self._buckets = buckets
+        self._times = list(buckets.keys())
+        heapq.heapify(self._times)
+        self._n_cancelled = 0
+        self._now = new_now
+
     def _pop_next(self) -> Optional[Event]:
         """The next live event, already removed from the queue."""
         if self.peek() is None:

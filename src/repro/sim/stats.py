@@ -59,57 +59,115 @@ class Histogram:
     """A streaming histogram with exact percentile support.
 
     Stores raw samples; fine for the 1e4–1e6 sample counts our runs use.
+    The fluid fast-forward tier extrapolates whole steady-state periods
+    at once, so bulk repetitions go through :meth:`record_repeated`,
+    which keeps them as weighted groups instead of materializing
+    ``len(values) * repeat`` floats; every statistic accounts for the
+    weights exactly (nearest-rank percentiles over the weighted
+    distribution).
     """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
+        #: weighted groups from record_repeated: (values, repeat)
+        self._bulk: List[tuple] = []
 
     def record(self, value: float) -> None:
         self._samples.append(value)
         self._sorted = False
 
-    def __len__(self) -> int:
+    def record_repeated(self, values, repeat: int) -> None:
+        """Record every value in ``values``, ``repeat`` times each.
+
+        Equivalent to ``repeat`` rounds of :meth:`record` over
+        ``values`` for all statistics, at O(len(values)) memory.
+        """
+        if repeat < 0:
+            raise ValueError("repeat must be non-negative")
+        if repeat == 0 or not values:
+            return
+        self._bulk.append((tuple(values), int(repeat)))
+
+    @property
+    def raw_count(self) -> int:
+        """Individually recorded samples only (excludes weighted bulk)."""
         return len(self._samples)
+
+    def samples_tail(self, start: int) -> List[float]:
+        """Copy of the individually recorded samples from index ``start``
+        on, in record order (valid until someone asks for a percentile,
+        which sorts in place)."""
+        return list(self._samples[start:])
+
+    def __len__(self) -> int:
+        return self.count
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return len(self._samples) + sum(len(v) * r for v, r in self._bulk)
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        total = self.count
+        if total == 0:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        acc = sum(self._samples)
+        for values, repeat in self._bulk:
+            acc += sum(values) * repeat
+        return acc / total
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        candidates = []
+        if self._samples:
+            candidates.append(min(self._samples))
+        candidates.extend(min(v) for v, _r in self._bulk)
+        return min(candidates) if candidates else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        candidates = []
+        if self._samples:
+            candidates.append(max(self._samples))
+        candidates.extend(max(v) for v, _r in self._bulk)
+        return max(candidates) if candidates else 0.0
 
     @property
     def stddev(self) -> float:
-        n = len(self._samples)
+        n = self.count
         if n < 2:
             return 0.0
         mu = self.mean
-        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+        acc = sum((x - mu) ** 2 for x in self._samples)
+        for values, repeat in self._bulk:
+            acc += sum((x - mu) ** 2 for x in values) * repeat
+        return math.sqrt(acc / (n - 1))
 
     def percentile(self, pct: float) -> float:
-        """Exact percentile by nearest-rank on the sorted samples."""
-        if not self._samples:
+        """Exact percentile by nearest-rank on the (weighted) samples."""
+        total = self.count
+        if total == 0:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
-        rank = max(0, math.ceil(pct / 100.0 * len(self._samples)) - 1)
-        return self._samples[rank]
+        rank = max(0, math.ceil(pct / 100.0 * total) - 1)
+        if not self._bulk:
+            return self._samples[rank]
+        weighted = [(v, 1) for v in self._samples]
+        for values, repeat in self._bulk:
+            weighted.extend((v, repeat) for v in values)
+        weighted.sort(key=lambda pair: pair[0])
+        cumulative = 0
+        for value, weight in weighted:
+            cumulative += weight
+            if cumulative > rank:
+                return value
+        return weighted[-1][0]
 
     def summary(self) -> Dict[str, float]:
         return {

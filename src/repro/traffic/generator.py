@@ -9,7 +9,6 @@ subclasses decide what each packet looks like.
 
 from __future__ import annotations
 
-import itertools
 import random
 from typing import Callable, List, Optional, Sequence
 
@@ -49,6 +48,19 @@ class TrafficSource:
 
     def next_packet(self) -> Packet:
         raise NotImplementedError
+
+    def fluid_profile(self):
+        """``(period_packets, phase)`` when the emission stream is a
+        deterministic cycle, else ``None``.
+
+        ``period_packets`` is the number of emissions after which the
+        stream repeats exactly; ``phase`` is the position within that
+        cycle.  Sources that draw from an RNG or a user callback return
+        ``None``, which makes any session they feed ineligible for the
+        fluid fast-forward tier (it may only skip provably periodic
+        steady state).
+        """
+        return None
 
     def interarrival_cycles(self, packet: Packet) -> float:
         ns = wire_bytes(packet.size) * 8 / self.offered_gbps
@@ -109,10 +121,17 @@ class FixedSizeSource(TrafficSource):
                 pad_to=max(packet_size, 60),
             )
             self._templates.append(intern_template(pkt.data, port))
-        self._cycle = itertools.cycle(self._templates)
+        # explicit index (not itertools.cycle) so the fluid tier can
+        # observe the flow-cycle phase without consuming the iterator
+        self._next_template = 0
 
     def next_packet(self) -> Packet:
-        return next(self._cycle).make_packet()
+        template = self._templates[self._next_template]
+        self._next_template = (self._next_template + 1) % len(self._templates)
+        return template.make_packet()
+
+    def fluid_profile(self):
+        return len(self._templates), self._next_template
 
 
 #: The classic simple-IMIX mix: (size, weight).
@@ -218,3 +237,8 @@ class ReplaySource(TrafficSource):
         return template.make_packet(
             is_attack=is_attack, flow_id=flow_id, seq_index=seq_index
         )
+
+    def fluid_profile(self):
+        if self.n_packets is not None:  # finite replay: drains, not steady
+            return None
+        return len(self._packets), self._index % len(self._packets)

@@ -44,6 +44,7 @@ from .registry import (
     verify_all,
     verify_firmware,
 )
+from .fluidgate import FluidGate, fluid_gate
 from .replaylint import (
     CLASS_REPLAY_SAFE,
     CLASS_STATEFUL,
@@ -76,6 +77,7 @@ __all__ = [
     "Diagnostic",
     "FIRMWARE_ASM_TWINS",
     "FirmwareCfg",
+    "FluidGate",
     "FirmwareVerifyReport",
     "INTERCONNECT_REGISTERS",
     "IrreducibleCfgError",
@@ -91,6 +93,7 @@ __all__ = [
     "analyze_source",
     "analyze_wcet",
     "budget_verdict",
+    "fluid_gate",
     "build_cfg",
     "bundled_firmware_classes",
     "bundled_firmware_names",
