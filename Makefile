@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache bench-fluid serve-smoke verify-fw ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache bench-fluid bench-cluster bench-trend bench-trend-update serve-smoke verify-fw ci lint examples results clean
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -27,7 +27,21 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/cluster_probe.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py \
+		benchmarks/test_cluster_resilience.py -q
+
+# Trend gate: compare the probe JSONs under benchmarks/results/ against
+# the committed baselines.json with per-metric tolerance bands.  Run
+# after bench-smoke; fails on any regression with a before/after table.
+bench-trend:
+	PYTHONPATH=src $(PYTHON) benchmarks/trend.py
+
+# Rewrite baselines.json from the current probe results (keeps
+# hand-tuned bands).  Rerun after an intentional perf change and
+# commit the diff — see docs/CI.md.
+bench-trend-update:
+	PYTHONPATH=src $(PYTHON) benchmarks/trend.py --update
 
 # Lint + bytecode-compile; ruff is optional locally (CI always has it).
 lint:
@@ -59,6 +73,7 @@ ci: lint verify-fw
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_CI=1 $(MAKE) bench-smoke
 	REPRO_CI=1 $(MAKE) serve-smoke
+	$(MAKE) bench-trend
 
 # ISS backend probe on its own (interp vs closure-translated fast path)
 bench-cpu:
@@ -72,6 +87,10 @@ bench-cache:
 # effective-speedup floor on a long steady-state run)
 bench-fluid:
 	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
+
+# Cluster scale-out probe on its own (1 vs 2 boards + shard identity)
+bench-cluster:
+	PYTHONPATH=src $(PYTHON) benchmarks/cluster_probe.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

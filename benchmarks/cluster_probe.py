@@ -1,0 +1,102 @@
+"""Standalone cluster scale-out probe for ``make bench-smoke``.
+
+Runs the forwarder at the same per-board offered load on one board and
+on a 2-board flow-affine rack, and scores the simulated-throughput
+scale factor (deterministic — no wall-clock noise, no CI relaxation).
+Before scoring it proves the tentpole guarantee on this very point:
+the 2-board rack run sharded over 2 worker processes is byte-identical
+to the single-process run.
+
+Floors live in ``benchmarks/conftest.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import FLOOR_CLUSTER_SCALE, persist_probe_json  # noqa: E402
+
+from repro import (  # noqa: E402
+    ExperimentSpec,
+    MeasurementWindow,
+    TrafficProfile,
+    run_experiment,
+)
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.cluster.engine import ClusterEngine  # noqa: E402
+from repro.core import RosebudConfig  # noqa: E402
+
+N_RPUS = 8
+PER_BOARD_GBPS = 40.0
+PACKET_SIZE = 512
+WINDOW = MeasurementWindow(warmup_packets=500, measure_packets=6000)
+RESULTS_PATH = "benchmarks/results/cluster_scaleout.txt"
+
+
+def spec(boards):
+    return ExperimentSpec(
+        config=RosebudConfig(n_rpus=N_RPUS),
+        traffic=TrafficProfile(packet_size=PACKET_SIZE, offered_gbps=PER_BOARD_GBPS),
+        window=WINDOW,
+        cluster=None if boards == 1 else ClusterSpec(boards=boards),
+    )
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    one = run_experiment(spec(1))
+    two_inline = ClusterEngine(spec(2), shards=1).run_to_completion()
+    two_sharded = ClusterEngine(spec(2), shards=2).run_to_completion()
+    elapsed = time.perf_counter() - t0
+
+    identical = json.dumps(two_inline.to_dict(), sort_keys=True) == json.dumps(
+        two_sharded.to_dict(), sort_keys=True
+    )
+    one_gbps = one.throughput.achieved_gbps
+    two_gbps = two_inline.throughput.achieved_gbps
+    scale = two_gbps / one_gbps if one_gbps else 0.0
+    cross = two_inline.cluster["cross_board"]
+
+    lines = [
+        "cluster scale-out probe (forwarder, "
+        f"{N_RPUS} RPUs/board, {PER_BOARD_GBPS:g}G/board, {PACKET_SIZE}B)",
+        f"  1 board : {one_gbps:8.2f} Gbps",
+        f"  2 boards: {two_gbps:8.2f} Gbps   scale x{scale:.3f} "
+        f"(floor x{FLOOR_CLUSTER_SCALE})",
+        f"  cross-board: {cross['packets']} pkts, {cross['bytes']} bytes, "
+        f"{cross['repinned_flows']} repins",
+        f"  2-shard run byte-identical: {identical}",
+        f"  probe wall clock: {elapsed:.1f}s",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    with open(RESULTS_PATH, "w") as fh:
+        fh.write(text + "\n")
+
+    persist_probe_json(
+        "cluster_probe",
+        {
+            "one_board_gbps": one_gbps,
+            "two_board_gbps": two_gbps,
+            "scale": scale,
+            "cross_board_packets": cross["packets"],
+            "shards_identical": identical,
+            "floor_scale": FLOOR_CLUSTER_SCALE,
+            "elapsed_s": elapsed,
+        },
+    )
+
+    if not identical:
+        print("FAIL: sharded run is not byte-identical to the inline run")
+        return 1
+    if scale < FLOOR_CLUSTER_SCALE:
+        print(f"FAIL: scale x{scale:.3f} under the x{FLOOR_CLUSTER_SCALE} floor")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,15 @@ FLOOR_SERVE_OVERHEAD = 0.50 if REPRO_CI else 0.10
 #: arithmetic skip must beat event simulation by a wide margin locally;
 #: CI keeps an order-of-magnitude guard.
 FLOOR_FLUID_SPEEDUP = 10.0 if REPRO_CI else 50.0
+#: cluster_probe.py: simulated-throughput scaling floor for a 2-board
+#: rack vs one board at the same per-board offered load.  The metric
+#: is deterministic (simulated Gbps, not wall clock) so it is not
+#: relaxed on CI; cross-board steering costs a little, hence < 2.0.
+FLOOR_CLUSTER_SCALE = 1.8
+#: cluster resilience: worst sampled cluster throughput while one of
+#: N boards is wedged must stay above this fraction of the surviving
+#: boards' fair share ((N-1)/N of baseline).  Deterministic.
+FLOOR_CLUSTER_DIP_FRACTION = 0.9
 
 
 def persist_probe_json(name: str, metrics: dict) -> Path:
@@ -82,6 +91,8 @@ def perf_floors():
         "verify_seconds": FLOOR_VERIFY_SECONDS,
         "serve_overhead": FLOOR_SERVE_OVERHEAD,
         "fluid_speedup": FLOOR_FLUID_SPEEDUP,
+        "cluster_scale": FLOOR_CLUSTER_SCALE,
+        "cluster_dip_fraction": FLOOR_CLUSTER_DIP_FRACTION,
     }
 
 

@@ -51,6 +51,8 @@ _LAZY_EXPORTS = {
     "PcapFeed": ("repro.serve.feed", "PcapFeed"),
     "FaultSpec": ("repro.faults.spec", "FaultSpec"),
     "verify_firmware": ("repro.verify", "verify_firmware"),
+    "ClusterSpec": ("repro.cluster.spec", "ClusterSpec"),
+    "ClusterEngine": ("repro.cluster.engine", "ClusterEngine"),
 }
 
 __all__ = [
@@ -70,6 +72,8 @@ __all__ = [
     "PcapFeed",
     "FaultSpec",
     "verify_firmware",
+    "ClusterSpec",
+    "ClusterEngine",
     "__version__",
     "__api_version__",
 ]

@@ -55,6 +55,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     # imported lazily: repro.serve builds on the analysis spec, so the
     # dependency must point session -> spec, not engine -> session at
     # module import time
+    if spec.cluster is not None:
+        # N-board rack: the cluster engine drives one session per
+        # board through bounded-lag horizons (inline here; `shards`
+        # is a runtime choice, not part of the measured point)
+        from ..cluster.engine import ClusterEngine
+
+        return ClusterEngine(spec).run_to_completion()
     from ..serve.session import SimSession
 
     return SimSession(spec).run_to_completion()

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.config import RosebudConfig
 from ..core.lb import HashLB, LBPolicy, LeastLoadedLB, PowerOfTwoChoicesLB, RoundRobinLB
 from ..core.system import RosebudSystem
+from ..cluster.spec import ClusterSpec
 from ..faults.spec import FaultSpec
 
 #: Bump when the measurement semantics change incompatibly, so stale
@@ -41,7 +42,8 @@ from ..faults.spec import FaultSpec
 #: v4: replay_cache field (packet-class firmware memoization).
 #: v5: verify field (static pre-flight: WCET budget + replay lint).
 #: v6: fidelity field (fluid fast-forward tier, repro.fluid).
-SPEC_VERSION = 6
+#: v7: cluster field (N-board racks with flow affinity, repro.cluster).
+SPEC_VERSION = 7
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -254,6 +256,12 @@ class ExperimentSpec:
     #: specs under "fluid" silently run event-accurate, with the
     #: reasons recorded in the result's ``fluid`` block.
     fidelity: str = "event"
+    #: N-board rack topology (repro.cluster), or None for one board.
+    #: Cluster points measure throughput only and are mutually
+    #: exclusive with in-board fault campaigns (the cluster has its own
+    #: liveness events) and the fluid tier (which tracks live packets
+    #: per board and cannot see cross-board state).
+    cluster: Optional[ClusterSpec] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -296,6 +304,24 @@ class ExperimentSpec:
                 f"unknown traffic source {self.traffic.source!r}; "
                 f"choices: {sorted(SOURCE_REGISTRY)}"
             )
+        # normalise cluster: accept a ClusterSpec or a plain dict
+        if self.cluster is not None and not isinstance(self.cluster, ClusterSpec):
+            self.cluster = ClusterSpec.from_dict(dict(self.cluster))
+        if self.cluster is not None:
+            if self.faults:
+                raise SpecError(
+                    "cluster specs cannot carry in-board fault campaigns; "
+                    "use cluster events (drain/restore/wedge_board) instead"
+                )
+            if self.fidelity != "event":
+                raise SpecError(
+                    "cluster specs run event-accurate only; the fluid tier "
+                    "cannot track packets across board boundaries"
+                )
+            if self.measure != "throughput":
+                raise SpecError(
+                    f"cluster specs measure throughput only, not {self.measure!r}"
+                )
         # normalise faults: accept a list of FaultSpec or plain dicts
         if not isinstance(self.faults, tuple):
             self.faults = tuple(self.faults)
@@ -383,6 +409,7 @@ class ExperimentSpec:
             "replay_cache": self.replay_cache,
             "verify": self.verify,
             "fidelity": self.fidelity,
+            "cluster": None if self.cluster is None else self.cluster.to_dict(),
         }
 
     def cache_key(self) -> str:
@@ -427,6 +454,12 @@ class ExperimentResult:
     #: statistical comparisons: it describes simulator work saved, not
     #: network behaviour.
     fluid: Optional[Dict[str, Any]] = None
+    #: cluster accounting (per-board totals, cross-board traffic,
+    #: events, watchdog outages, dip/MTTR), or None for single-board
+    #: points.  The replay block is always None for cluster points:
+    #: per-board caches are private and cold, so layout-dependent
+    #: hit/miss counts never leak into a comparable result.
+    cluster: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         from ..schema import stamp
@@ -446,6 +479,8 @@ class ExperimentResult:
             out["replay"] = dict(self.replay)
         if self.fluid is not None:
             out["fluid"] = dict(self.fluid)
+        if self.cluster is not None:
+            out["cluster"] = dict(self.cluster)
         return stamp(out, "repro-result")
 
     @classmethod
@@ -470,4 +505,5 @@ class ExperimentResult:
             resilience=data.get("resilience"),
             replay=data.get("replay"),
             fluid=data.get("fluid"),
+            cluster=data.get("cluster"),
         )

@@ -538,6 +538,90 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_cluster_event(text: str):
+    """``KIND:AT:BOARD`` -> a cluster event tuple, e.g. ``drain:50000:1``."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"cluster event {text!r} is not KIND:AT_CYCLES:BOARD "
+            "(e.g. drain:50000:1)"
+        )
+    kind, at, board = parts
+    return (float(at), kind, int(board))
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run an N-board cluster point and print the rack-level report."""
+    from .cluster import ClusterSpec
+    from .cluster.engine import ClusterEngine
+
+    try:
+        events = [parse_cluster_event(text) for text in args.event]
+    except ValueError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 2
+    if args.firmware == "firewall":
+        prefixes = parse_blacklist(generate_blacklist(args.rules))
+        firmware, fw_args = FirewallFirmware, (IpBlacklistMatcher(prefixes),)
+    else:
+        firmware, fw_args = ForwarderFirmware, ()
+    spec = ExperimentSpec(
+        config=RosebudConfig(n_rpus=args.rpus),
+        firmware=firmware,
+        firmware_args=fw_args,
+        traffic=TrafficProfile(
+            packet_size=args.size, offered_gbps=args.gbps, n_ports=args.ports
+        ),
+        window=_window(args),
+        lb=_lb(args),
+        cpu_backend=_backend(args),
+        replay_cache=_replay(args),
+        cluster=ClusterSpec(
+            boards=args.boards,
+            link_gbps=args.link_gbps,
+            affinity=args.affinity,
+            watchdog_horizons=args.watchdog_horizons,
+        ),
+    )
+    outcome = ClusterEngine(spec, shards=args.shards, events=events).run_to_completion()
+    result = outcome.throughput
+    cluster = outcome.cluster
+    cross = cluster["cross_board"]
+    print(format_table(
+        ["boards", "RPUs/board", "size(B)", "offered Gbps", "achieved Gbps",
+         "MPPS", "x-board pkts", "repinned"],
+        [[args.boards, args.rpus, args.size, result.offered_gbps,
+          result.achieved_gbps, result.achieved_mpps,
+          cross["packets"], cross["repinned_flows"]]],
+        title=f"cluster: {args.boards}x boards, {args.affinity} affinity, "
+              f"{args.shards} shard(s)",
+    ))
+    print(format_table(
+        ["board", "live", "completions", "tx pkts", "rx drops"],
+        [[b["board"], b["live"], b["completions"], b["tx_packets"],
+          b["rx_drops"]] for b in cluster["per_board"]],
+        title="per board",
+    ))
+    resilience = cluster["resilience"]
+    if cluster["events"] or resilience["watchdog"]:
+        for event in cluster["events"]:
+            print(f"  t={event['t']:g}: {event['kind']} board {event['board']}"
+                  f" ({event['source']})")
+        dip = resilience["dip"]
+        print(f"dip: baseline={dip['baseline_gbps']:.1f} Gbps "
+              f"min={dip['min_gbps']:.1f} Gbps depth={dip['depth']:.3f} "
+              f"width={dip['width_cycles']:g} cyc; "
+              f"MTTR={resilience['mttr_cycles']:g} cyc")
+    _print_replay(outcome)
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(outcome.to_dict(), fh, sort_keys=True, indent=1)
+        print(f"wrote report to {args.json}")
+    return 0
+
+
 def _loopback_setup(n_rpus: int, system) -> None:
     system.lb.host_write(system.lb.REG_ENABLE_MASK, (1 << (n_rpus // 2)) - 1)
 
@@ -820,6 +904,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ports", type=int, default=2)
     p.add_argument("--json", default=None, help="write the full report as JSON")
     p.set_defaults(func=cmd_chaos, gbps=80.0, rpus=8, packets=20000, warmup=2000)
+
+    p = sub.add_parser("cluster", parents=[_common_parser()],
+                       help="N-board rack point (flow-affine scale-out)")
+    p.add_argument("--boards", type=int, default=2, help="boards in the rack")
+    p.add_argument("--link-gbps", type=float, default=100.0,
+                   help="inter-board link rate per direction")
+    p.add_argument("--affinity", choices=["hash", "local"], default="hash",
+                   help="flow steering policy across boards")
+    p.add_argument("--watchdog-horizons", type=int, default=8,
+                   help="zero-progress horizons before board eviction "
+                        "(0 disables failover)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="worker processes to spread the boards over "
+                        "(results are byte-identical for any value)")
+    p.add_argument("--event", action="append", default=[],
+                   metavar="KIND:AT:BOARD",
+                   help="schedule a liveness event, e.g. drain:50000:1 "
+                        "(kinds: drain, restore, wedge_board, unwedge_board; "
+                        "repeatable)")
+    p.add_argument("--firmware", choices=["forwarder", "firewall"],
+                   default="forwarder")
+    p.add_argument("--rules", type=int, default=1050,
+                   help="blacklist size for --firmware firewall")
+    p.add_argument("--ports", type=int, default=2)
+    p.add_argument("--json", default=None, help="write the full report as JSON")
+    p.set_defaults(func=cmd_cluster, gbps=80.0, rpus=8, packets=6000, warmup=500)
 
     p = sub.add_parser("resources", parents=[_common_parser()], help="utilization report")
     p.set_defaults(func=cmd_resources)

@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional
 #: string has exactly one place to look.
 SCHEMAS: Dict[str, int] = {
     "repro-snapshot": 1,
+    "repro-cluster-snapshot": 1,
     "repro-result": 1,
     "repro-verify": 1,
     "repro-serve": 1,

@@ -131,6 +131,12 @@ def spec_from_params(params: Dict[str, Any]) -> ExperimentSpec:
         "faults": tuple(p.pop("faults", ())),
         "fidelity": p.pop("fidelity", "event"),
     }
+    if "cluster" in p:
+        cluster = p.pop("cluster")
+        if isinstance(cluster, int):
+            cluster = {"boards": cluster}
+        # a dict is normalised to a ClusterSpec by the spec itself
+        spec_kwargs["cluster"] = cluster
     if "include_host" in p:
         spec_kwargs["include_host"] = bool(p.pop("include_host"))
     if "cpu_backend" in p:
@@ -200,8 +206,22 @@ class ServeServer:
         if self.session is not None:
             raise SessionError("a session is already open; close it first")
         autostart = bool(params.pop("start", True))
+        shards = int(params.pop("shards", 1))
+        events = tuple(params.pop("events", ()))
         spec = spec_from_params(params)
-        self.session = SimSession(spec)
+        if spec.cluster is not None:
+            # cluster sessions speak the same step/control/snapshot/
+            # result surface; shards and events are runtime choices,
+            # not part of the measured point
+            from ..cluster.engine import ClusterEngine
+
+            self.session = ClusterEngine(spec, shards=shards, events=events)
+        else:
+            if shards != 1 or events:
+                raise SpecError(
+                    "shards/events are cluster parameters; pass cluster={...} too"
+                )
+            self.session = SimSession(spec)
         if autostart:
             self.session.start()
         return {
@@ -224,6 +244,11 @@ class ServeServer:
 
     def _rpc_inject(self, **params) -> Dict[str, Any]:
         session = self._require_session()
+        if not hasattr(session, "inject"):
+            raise SessionError(
+                "inject is a single-board session feature; drive cluster "
+                "sessions with control events (drain/restore/wedge_board)"
+            )
         if "pcap" in params:
             feed = session.add_feed(
                 PcapFeed(
@@ -263,7 +288,10 @@ class ServeServer:
         return self._require_session().result().to_dict()
 
     def _rpc_close(self) -> Dict[str, Any]:
-        self._require_session()
+        session = self._require_session()
+        closer = getattr(session, "close", None)
+        if closer is not None:
+            closer()  # cluster sessions hold worker processes
         self.session = None
         return {"closed": True}
 

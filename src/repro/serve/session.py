@@ -292,6 +292,12 @@ class SimSession:
             return
         if _system is not None:
             raise SessionError("pass either a spec or a system, not both")
+        if spec.cluster is not None:
+            raise SessionError(
+                "a SimSession is one board; drive cluster specs with "
+                "repro.cluster.ClusterEngine (or run_experiment / "
+                "`repro cluster`, which route there)"
+            )
 
         # -- replicate run_experiment's setup, in its exact order --------
         if spec.cpu_backend is not None:

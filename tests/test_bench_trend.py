@@ -1,0 +1,171 @@
+"""The bench-trend gate (benchmarks/trend.py) must actually gate.
+
+Loads the tool by file path (benchmarks/ is not a package), feeds it
+synthetic probe results, and proves: in-band metrics pass, an
+artificially degraded metric fails with a REGRESSED row, identity
+booleans are exact, missing metrics are loud by default, and
+``--update`` preserves hand-tuned bands.  Also checks the *committed*
+baselines stay consistent with the tool's own schema.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+spec = importlib.util.spec_from_file_location("bench_trend", BENCH_DIR / "trend.py")
+trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trend)
+
+
+def write_probe(directory: Path, probe: str, metrics: dict) -> None:
+    (directory / f"{probe}.json").write_text(
+        json.dumps({"schema": "repro-bench/1", "probe": probe, "metrics": metrics})
+    )
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    write_probe(
+        directory,
+        "demo_probe",
+        {
+            "gbps": 100.0,
+            "speedup": 4.0,
+            "elapsed_s": 2.0,
+            "identical": True,
+            "floor_gbps": 90.0,  # floors are never gated
+            "n_rpus": 8,  # config echoes are never gated
+        },
+    )
+    return directory
+
+
+def test_collect_flattens_and_skips_non_metrics(results_dir):
+    flat = trend.collect_results(results_dir)
+    assert flat == {
+        "demo_probe.gbps": 100.0,
+        "demo_probe.speedup": 4.0,
+        "demo_probe.elapsed_s": 2.0,
+        "demo_probe.identical": True,
+    }
+
+
+def test_update_then_gate_passes(results_dir, tmp_path):
+    baselines_path = tmp_path / "baselines.json"
+    results = trend.collect_results(results_dir)
+    trend.update_baselines(results, baselines_path)
+    rows = trend.compare(trend.load_baselines(baselines_path), results)
+    assert rows and all(row["status"] == "ok" for row in rows)
+    assert (
+        trend.main([
+            "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+        ])
+        == 0
+    )
+
+
+def test_degraded_metric_fails_the_gate(results_dir, tmp_path):
+    baselines_path = tmp_path / "baselines.json"
+    trend.update_baselines(trend.collect_results(results_dir), baselines_path)
+    # degrade one deterministic metric past its 5% band
+    write_probe(
+        results_dir,
+        "demo_probe",
+        {"gbps": 80.0, "speedup": 4.0, "elapsed_s": 2.0, "identical": True},
+    )
+    results = trend.collect_results(results_dir)
+    rows = trend.compare(trend.load_baselines(baselines_path), results)
+    status = {row["key"]: row["status"] for row in rows}
+    assert status["demo_probe.gbps"] == "REGRESSED"
+    assert status["demo_probe.speedup"] == "ok"
+    assert (
+        trend.main([
+            "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+        ])
+        == 1
+    )
+    # the report names the regression with its band
+    report = trend.format_report(rows)
+    assert "REGRESSED" in report and "demo_probe.gbps" in report
+
+
+def test_identity_booleans_are_exact(results_dir, tmp_path):
+    baselines_path = tmp_path / "baselines.json"
+    trend.update_baselines(trend.collect_results(results_dir), baselines_path)
+    write_probe(
+        results_dir,
+        "demo_probe",
+        {"gbps": 100.0, "speedup": 4.0, "elapsed_s": 2.0, "identical": False},
+    )
+    rows = trend.compare(
+        trend.load_baselines(baselines_path), trend.collect_results(results_dir)
+    )
+    status = {row["key"]: row["status"] for row in rows}
+    assert status["demo_probe.identical"] == "REGRESSED"
+
+
+def test_missing_metric_is_loud_unless_allowed(results_dir, tmp_path):
+    baselines_path = tmp_path / "baselines.json"
+    trend.update_baselines(trend.collect_results(results_dir), baselines_path)
+    (results_dir / "demo_probe.json").unlink()
+    argv = ["--results-dir", str(results_dir), "--baselines", str(baselines_path)]
+    assert trend.main(argv) == 1
+    assert trend.main(argv + ["--allow-missing"]) == 0
+
+
+def test_update_preserves_hand_tuned_bands(results_dir, tmp_path):
+    baselines_path = tmp_path / "baselines.json"
+    trend.update_baselines(trend.collect_results(results_dir), baselines_path)
+    doc = json.loads(baselines_path.read_text())
+    doc["metrics"]["demo_probe.gbps"]["tolerance"] = 0.33
+    baselines_path.write_text(json.dumps(doc))
+    # values move with the new results; the hand-tuned band survives
+    write_probe(
+        results_dir,
+        "demo_probe",
+        {"gbps": 120.0, "speedup": 4.0, "elapsed_s": 2.0, "identical": True},
+    )
+    metrics = trend.update_baselines(
+        trend.collect_results(results_dir), baselines_path
+    )
+    assert metrics["demo_probe.gbps"]["value"] == 120.0
+    assert metrics["demo_probe.gbps"]["tolerance"] == 0.33
+
+
+def test_band_classes():
+    assert trend.default_band("p.elapsed_s", 2.0)["direction"] == "lower"
+    assert (
+        trend.default_band("p.elapsed_s", 2.0)["tolerance"]
+        == trend.ABS_SECONDS_TOLERANCE
+    )
+    assert trend.default_band("p.events_per_sec", 5e5) == {
+        "value": 5e5,
+        "tolerance": trend.ABS_RATE_TOLERANCE,
+        "direction": "higher",
+    }
+    assert trend.default_band("p.speedup", 4.0)["tolerance"] == trend.RATIO_TOLERANCE
+    assert trend.default_band("p.hit_rate", 0.97)["tolerance"] == trend.TIGHT_TOLERANCE
+    assert trend.default_band("p.ok", True) == {"value": True, "exact": True}
+
+
+def test_committed_baselines_are_well_formed():
+    """The repo's own baselines.json parses and every entry is sane."""
+    metrics = trend.load_baselines(BENCH_DIR / "baselines.json")
+    assert metrics, "committed baselines.json must not be empty"
+    for key, band in metrics.items():
+        assert "." in key, key
+        assert "value" in band, key
+        if not band.get("exact"):
+            assert band.get("direction") in ("higher", "lower"), key
+            assert float(band.get("tolerance", 0)) > 0, key
+    # the tentpole identity guarantee is gated, exactly
+    assert metrics["cluster_probe.shards_identical"] == {
+        "value": True,
+        "exact": True,
+    }

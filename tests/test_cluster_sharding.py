@@ -1,0 +1,90 @@
+"""Worker-crash paths under cluster sharding.
+
+The horizon barrier is a rendezvous: if a shard worker dies or wedges
+mid-sync, the parent must surface a *named* :class:`ClusterShardError`
+— never hang waiting on a pipe that will not answer.  The worker
+protocol ships two deliberate test hooks (``crash`` = silent
+``os._exit``, ``hang`` = oversleep) so these paths are exercised for
+real, against real spawn processes.
+"""
+
+import pytest
+
+from repro import ExperimentSpec, MeasurementWindow, TrafficProfile
+from repro.cluster import ClusterSpec
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.shard import ClusterShardError, ProcessShard
+
+SPEC = ExperimentSpec(
+    traffic=TrafficProfile(offered_gbps=40.0, packet_size=512),
+    window=MeasurementWindow(
+        warmup_packets=50, measure_packets=300, max_cycles=10_000_000
+    ),
+    cluster=ClusterSpec(boards=2),
+)
+
+
+def test_crashed_worker_raises_named_error():
+    shard = ProcessShard(0, SPEC, [0], timeout=60.0)
+    try:
+        with pytest.raises(ClusterShardError, match="died|gone"):
+            shard.request("crash")
+    finally:
+        shard.close()
+
+
+def test_hung_worker_times_out_with_named_error():
+    shard = ProcessShard(0, SPEC, [0], timeout=0.5)
+    try:
+        with pytest.raises(ClusterShardError, match="exceeded"):
+            shard.request("hang", 30.0)
+    finally:
+        shard.close()
+
+
+def test_worker_exception_travels_back_with_traceback():
+    shard = ProcessShard(0, SPEC, [0], timeout=60.0)
+    try:
+        with pytest.raises(ClusterShardError, match="unknown shard command"):
+            shard.request("frobnicate")
+        # the worker survives a failed command and keeps serving
+        out, metrics = shard.advance(250.0, {})
+        assert 0 in metrics
+    finally:
+        shard.close()
+
+
+def test_engine_surfaces_shard_death_at_the_barrier():
+    engine = ClusterEngine(SPEC, shards=2)
+    try:
+        engine.step(n_events=2)
+        # kill one worker out from under the barrier
+        victim = engine._shards[1]
+        victim._proc.terminate()
+        victim._proc.join(timeout=10.0)
+        with pytest.raises(ClusterShardError, match="shard 1"):
+            engine.step(n_events=1)
+    finally:
+        engine.close()
+
+
+def test_engine_close_is_idempotent_after_failure():
+    engine = ClusterEngine(SPEC, shards=2)
+    engine.start()
+    engine._shards[0]._proc.terminate()
+    engine._shards[0]._proc.join(timeout=10.0)
+    with pytest.raises(ClusterShardError):
+        engine.advance_horizon()
+    engine.close()
+    engine.close()  # second close must not raise
+
+
+def test_unpicklable_spec_fails_by_name_before_spawning():
+    spec = SPEC.with_(setup=lambda system: None)
+    engine = ClusterEngine(spec, shards=2)
+    with pytest.raises(ClusterShardError, match="picklable"):
+        engine.start()
+    # the same spec runs fine inline
+    inline = ClusterEngine(spec, shards=1)
+    inline.step(n_events=1)
+    inline.close()
