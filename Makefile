@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache bench-fluid bench-cluster bench-trend bench-trend-update serve-smoke verify-fw ci lint examples results clean
+.PHONY: install test test-fast bench bench-smoke bench-cpu bench-cache bench-fluid bench-fluid-contended bench-cluster bench-trend bench-trend-update serve-smoke verify-fw ci lint examples results clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +27,7 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/cpu_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cache_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
+	PYTHONPATH=src $(PYTHON) benchmarks/fluid_contended_probe.py
 	PYTHONPATH=src $(PYTHON) benchmarks/cluster_probe.py
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py \
 		benchmarks/test_cluster_resilience.py -q
@@ -87,6 +88,13 @@ bench-cache:
 # effective-speedup floor on a long steady-state run)
 bench-fluid:
 	PYTHONPATH=src $(PYTHON) benchmarks/fluid_probe.py
+
+# Contended-regime fluid probe on its own: rotating-period detection
+# with backlogged FIFOs and per-period drops (byte parity incl.
+# rx_drops + speedup floor), plus the 2-board cluster x fluid leg
+# (fluid rack byte-identical to the event rack and across shards)
+bench-fluid-contended:
+	PYTHONPATH=src $(PYTHON) benchmarks/fluid_contended_probe.py
 
 # Cluster scale-out probe on its own (1 vs 2 boards + shard identity)
 bench-cluster:

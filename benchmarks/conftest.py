@@ -52,6 +52,18 @@ FLOOR_SERVE_OVERHEAD = 0.50 if REPRO_CI else 0.10
 #: arithmetic skip must beat event simulation by a wide margin locally;
 #: CI keeps an order-of-magnitude guard.
 FLOOR_FLUID_SPEEDUP = 10.0 if REPRO_CI else 50.0
+#: fluid_contended_probe.py: effective-speedup floor for the fluid tier
+#: on a *contended* forwarder spec (offered > service capacity, MAC
+#: FIFOs backlogged, drops every period).  The rotating-period detector
+#: pays for a much longer confirmation window here (the drop pattern
+#: rotates through hundreds of boundaries before repeating), so the
+#: floor sits below the uncontended one.
+FLOOR_FLUID_CONTENDED_SPEEDUP = 4.0 if REPRO_CI else 20.0
+#: fluid_contended_probe.py, cluster leg: wall-clock speedup of a
+#: 2-board rack run at fluid fidelity vs event fidelity (same spec,
+#: byte-identical results).  Per-board warps clip to the sync horizon,
+#: so the attainable speedup tracks the horizon length.
+FLOOR_CLUSTER_FLUID_SPEEDUP = 3.0 if REPRO_CI else 10.0
 #: cluster_probe.py: simulated-throughput scaling floor for a 2-board
 #: rack vs one board at the same per-board offered load.  The metric
 #: is deterministic (simulated Gbps, not wall clock) so it is not
@@ -91,6 +103,8 @@ def perf_floors():
         "verify_seconds": FLOOR_VERIFY_SECONDS,
         "serve_overhead": FLOOR_SERVE_OVERHEAD,
         "fluid_speedup": FLOOR_FLUID_SPEEDUP,
+        "fluid_contended_speedup": FLOOR_FLUID_CONTENDED_SPEEDUP,
+        "cluster_fluid_speedup": FLOOR_CLUSTER_FLUID_SPEEDUP,
         "cluster_scale": FLOOR_CLUSTER_SCALE,
         "cluster_dip_fraction": FLOOR_CLUSTER_DIP_FRACTION,
     }

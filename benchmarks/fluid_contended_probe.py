@@ -1,0 +1,239 @@
+"""Standalone contended-regime fluid probe for ``make bench-fluid-contended``.
+
+Two legs, both proving the fluid tier's byte-identity contract where it
+is hardest to keep:
+
+1. **Contended warp.**  A forwarder spec whose offered load exceeds the
+   service capacity (4 RPUs, shallow MAC FIFOs, 200G offered): the MAC
+   drop counters tick every period and the drop pattern rotates through
+   hundreds of source-template boundaries before the machine state
+   recurs.  The fluid run must (a) detect that long rotating period and
+   warp, (b) keep every system counter — including ``rx_drops`` —
+   byte-identical to the pure event run, and (c) beat the event run by
+   ``FLOOR_FLUID_CONTENDED_SPEEDUP`` at a large window.  The event
+   orbit itself is not event-*count* periodic in this regime (no-op
+   re-poll events flip on float-time ties as the clock grows), so
+   ``events_processed`` gets a small absolute tolerance while the
+   system counters stay exact — see docs/ARCHITECTURE.md.
+
+2. **Cluster x fluid.**  A 2-board local-affinity rack at fluid
+   fidelity must be byte-identical (modulo fluid telemetry and the
+   spec hash) to the same rack at event fidelity, byte-identical
+   across ``shards in {1, 2}``, and at least
+   ``FLOOR_CLUSTER_FLUID_SPEEDUP`` faster than the event rack.
+
+Metrics are persisted as schema-stamped JSON under
+``benchmarks/results/`` like every other bench-smoke probe.
+"""
+
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import (  # noqa: E402
+    FLOOR_CLUSTER_FLUID_SPEEDUP,
+    FLOOR_FLUID_CONTENDED_SPEEDUP,
+    persist_probe_json,
+)
+
+from repro.analysis import ExperimentSpec, MeasurementWindow, TrafficProfile  # noqa: E402
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.cluster.engine import ClusterEngine  # noqa: E402
+from repro.core import RosebudConfig  # noqa: E402
+from repro.fluid.compare import diff_results  # noqa: E402
+from repro.serve.session import SimSession  # noqa: E402
+
+#: window for the contended byte-parity check (both tiers run it full)
+PARITY_PACKETS = 150_000
+#: window for the contended fluid timing leg
+FLUID_PACKETS = 2_500_000
+#: window for the contended event timing leg (scaled to FLUID_PACKETS)
+EVENT_PACKETS = 30_000
+#: events_processed bound in contended regimes: max(abs floor, 1% rel).
+#: The kernel's no-op re-poll events reschedule on float-time ties, so
+#: the orbit is not event-*count* periodic there even though the
+#: machine state is; every system counter stays byte-identical.
+EVENTS_ATOL = 8
+EVENTS_RTOL = 0.01
+
+#: cluster leg: per-board window and rack shape
+CLUSTER_PACKETS = 60_000
+CLUSTER_BOARDS = 2
+CLUSTER_HORIZON_CYCLES = 100_000.0
+
+
+def _contended_spec(measure_packets: int, fidelity: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        config=RosebudConfig(n_rpus=4, mac_rx_fifo_packets=8),
+        traffic=TrafficProfile(packet_size=512, offered_gbps=200.0, n_ports=2),
+        window=MeasurementWindow(
+            warmup_packets=2000,
+            measure_packets=measure_packets,
+            max_cycles=5e9,
+        ),
+        fidelity=fidelity,
+    )
+
+
+def _cluster_spec(fidelity: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        config=RosebudConfig(n_rpus=8),
+        traffic=TrafficProfile(packet_size=512, offered_gbps=40.0, n_ports=2),
+        window=MeasurementWindow(
+            warmup_packets=500, measure_packets=CLUSTER_PACKETS
+        ),
+        fidelity=fidelity,
+        cluster=ClusterSpec(
+            boards=CLUSTER_BOARDS,
+            link_gbps=100.0,
+            link_latency_cycles=CLUSTER_HORIZON_CYCLES,
+            affinity="local",
+            watchdog_horizons=8,
+        ),
+    )
+
+
+def _timed_run(spec: ExperimentSpec):
+    t0 = time.perf_counter()
+    session = SimSession(spec)
+    result = session.run_to_completion()
+    return result, session, time.perf_counter() - t0
+
+
+def main() -> int:
+    failures = []
+
+    # -- contended parity leg ------------------------------------------
+    rf, sf, _ = _timed_run(_contended_spec(PARITY_PACKETS, "fluid"))
+    re_, se, _ = _timed_run(_contended_spec(PARITY_PACKETS, "event"))
+    if rf.counters != re_.counters:
+        failures.append(f"counters diverge: {rf.counters} != {re_.counters}")
+    if rf.throughput.rx_drops != re_.throughput.rx_drops:
+        failures.append(
+            f"rx_drops diverge: {rf.throughput.rx_drops} "
+            f"!= {re_.throughput.rx_drops}"
+        )
+    if rf.throughput.rpu_packet_counts != re_.throughput.rpu_packet_counts:
+        failures.append("per-RPU packet distribution diverges")
+    events_drift = abs(sf.sim.events_processed - se.sim.events_processed)
+    events_bound = max(EVENTS_ATOL, EVENTS_RTOL * se.sim.events_processed)
+    if events_drift > events_bound:
+        failures.append(
+            f"events_processed drift {events_drift} > {events_bound}"
+        )
+    for attr in ("achieved_gbps", "achieved_mpps"):
+        a, b = getattr(rf.throughput, attr), getattr(re_.throughput, attr)
+        if not math.isclose(a, b, rel_tol=1e-6):
+            failures.append(f"{attr} outside tolerance: {a} vs {b}")
+    if not rf.fluid["engaged"]:
+        failures.append(f"fluid tier never engaged: {rf.fluid['reasons']}")
+    if not rf.fluid["contended"]:
+        failures.append("run not classified as contended")
+    if rf.throughput.rx_drops == 0:
+        failures.append("contended spec produced no drops (miscalibrated)")
+
+    # -- contended timing leg ------------------------------------------
+    rfl, _, t_fluid = _timed_run(_contended_spec(FLUID_PACKETS, "fluid"))
+    _, _, t_event_small = _timed_run(_contended_spec(EVENT_PACKETS, "event"))
+    t_event = t_event_small * (FLUID_PACKETS / EVENT_PACKETS)
+    speedup = t_event / t_fluid if t_fluid > 0 else float("inf")
+
+    occupancy = rfl.fluid["occupancy"]["fluid"]
+    print(f"contended fluid probe: {FLUID_PACKETS:,} packets")
+    print(f"  period               {rfl.fluid['period_boundaries']} boundaries "
+          f"({rfl.fluid['period_cycles']:.0f} cycles), "
+          f"{rfl.fluid['drops_per_period']} drops/period")
+    print(f"  fluid wall           {t_fluid:8.3f} s "
+          f"(occupancy {100 * occupancy:.1f}% fluid, "
+          f"{rfl.fluid['warps']} warps, "
+          f"{rfl.fluid['periods_warped']} periods)")
+    print(f"  event wall (scaled)  {t_event:8.3f} s "
+          f"(measured {t_event_small:.3f} s at {EVENT_PACKETS:,})")
+    print(f"  effective speedup    {speedup:8.1f}x  "
+          f"(floor {FLOOR_FLUID_CONTENDED_SPEEDUP}x)")
+    if speedup < FLOOR_FLUID_CONTENDED_SPEEDUP:
+        failures.append(
+            f"contended speedup {speedup:.1f}x under floor "
+            f"{FLOOR_FLUID_CONTENDED_SPEEDUP}x"
+        )
+    if not rfl.fluid["engaged"]:
+        failures.append("fluid tier never engaged at the timing window")
+
+    # -- cluster x fluid leg -------------------------------------------
+    t0 = time.perf_counter()
+    ev = ClusterEngine(_cluster_spec("event"), shards=1).run_to_completion()
+    t_cluster_event = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fl = ClusterEngine(_cluster_spec("fluid"), shards=1).run_to_completion()
+    t_cluster_fluid = time.perf_counter() - t0
+    fl2 = ClusterEngine(_cluster_spec("fluid"), shards=2).run_to_completion()
+
+    diffs = diff_results(fl.to_dict(), ev.to_dict())
+    if diffs:
+        failures.append(
+            f"cluster fluid vs event diverges ({len(diffs)}): {diffs[:5]}"
+        )
+    shards_identical = json.dumps(fl.to_dict(), sort_keys=True) == json.dumps(
+        fl2.to_dict(), sort_keys=True
+    )
+    if not shards_identical:
+        failures.append("cluster fluid results differ across shards {1,2}")
+    cluster_speedup = (
+        t_cluster_event / t_cluster_fluid if t_cluster_fluid > 0 else float("inf")
+    )
+    agg = fl.cluster["fluid"]
+    if agg is None or agg["boards_engaged"] < CLUSTER_BOARDS:
+        failures.append(f"cluster fluid engagement incomplete: {agg}")
+    print(f"cluster x fluid: {CLUSTER_BOARDS} boards, "
+          f"{CLUSTER_PACKETS:,} packets/board, "
+          f"horizon {CLUSTER_HORIZON_CYCLES:g} cycles")
+    print(f"  event wall           {t_cluster_event:8.3f} s")
+    print(f"  fluid wall           {t_cluster_fluid:8.3f} s "
+          f"(occupancy {100 * (agg or {}).get('occupancy', {}).get('fluid', 0):.1f}% "
+          f"fluid, {(agg or {}).get('warps', 0)} warps)")
+    print(f"  speedup              {cluster_speedup:8.1f}x  "
+          f"(floor {FLOOR_CLUSTER_FLUID_SPEEDUP}x)")
+    print(f"  shards 1 vs 2 identical: {shards_identical}")
+    if cluster_speedup < FLOOR_CLUSTER_FLUID_SPEEDUP:
+        failures.append(
+            f"cluster fluid speedup {cluster_speedup:.1f}x under floor "
+            f"{FLOOR_CLUSTER_FLUID_SPEEDUP}x"
+        )
+
+    persist_probe_json("fluid_contended_probe", {
+        "parity_packets": PARITY_PACKETS,
+        "fluid_packets": FLUID_PACKETS,
+        "event_packets": EVENT_PACKETS,
+        "t_fluid_s": t_fluid,
+        "t_event_scaled_s": t_event,
+        "speedup": speedup,
+        "floor_contended": FLOOR_FLUID_CONTENDED_SPEEDUP,
+        "fluid_occupancy": occupancy,
+        "warps": rfl.fluid["warps"],
+        "periods_warped": rfl.fluid["periods_warped"],
+        "drops_per_period": rfl.fluid["drops_per_period"] or 0,
+        "contended": bool(rfl.fluid["contended"]),
+        "counters_identical": rf.counters == re_.counters,
+        "rx_drops_identical": rf.throughput.rx_drops == re_.throughput.rx_drops,
+        "events_drift_ok": events_drift <= events_bound,
+        "cluster_speedup": cluster_speedup,
+        "floor_cluster_fluid": FLOOR_CLUSTER_FLUID_SPEEDUP,
+        "cluster_identical_to_event": not diffs,
+        "cluster_shards_identical": shards_identical,
+        "cluster_boards_engaged": 0 if agg is None else agg["boards_engaged"],
+        "failures": failures,
+    })
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("contended fluid probe OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

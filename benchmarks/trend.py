@@ -32,8 +32,9 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List
 
-RESULTS_DIR = Path(__file__).parent / "results"
-BASELINES_PATH = Path(__file__).parent / "baselines.json"
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES_PATH = BENCH_DIR / "baselines.json"
 
 #: metric keys never gated: configuration echoes and the floors
 #: themselves (guarded by the probes), not measurements
@@ -106,6 +107,30 @@ def collect_results(results_dir: Path = RESULTS_DIR) -> Dict[str, Any]:
             if _gated(key) and isinstance(value, (int, float, bool)):
                 flat[f"{probe}.{key}"] = value
     return flat
+
+
+def expected_probes(bench_dir: Path = BENCH_DIR) -> set:
+    """Probe names the gate must see results for: one per ``*_probe.py``.
+
+    Deriving the expectation from the scripts themselves (rather than
+    from the baseline file) closes the silent-pass hole where a probe
+    crashes before persisting its JSON — or was never baselined at all —
+    and the trend gate happily reports "all metrics within bands".
+    """
+    return {path.stem for path in bench_dir.glob("*_probe.py")}
+
+
+def present_probes(results_dir: Path = RESULTS_DIR) -> set:
+    """Probe names with a schema-stamped JSON under ``results_dir``."""
+    found = set()
+    for path in results_dir.glob("*.json"):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if str(doc.get("schema", "")).startswith("repro-bench/"):
+            found.add(doc.get("probe", path.stem))
+    return found
 
 
 def load_baselines(path: Path = BASELINES_PATH) -> Dict[str, Dict[str, Any]]:
@@ -221,6 +246,13 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR)
     parser.add_argument("--baselines", type=Path, default=BASELINES_PATH)
     parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=BENCH_DIR,
+        help="directory whose *_probe.py scripts define the expected "
+        "probe set (every probe must leave a result JSON)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the baseline file from the current results "
@@ -243,7 +275,27 @@ def main(argv=None) -> int:
     if not args.baselines.exists():
         print(f"no baseline file at {args.baselines}; run with --update first")
         return 1
-    rows = compare(load_baselines(args.baselines), results)
+    baselines = load_baselines(args.baselines)
+
+    # probe-level completeness: every *_probe.py must have left a result
+    # JSON.  A probe that is ALSO absent from the baselines would
+    # otherwise sail through even without --allow-missing (no MISSING
+    # rows to trip on), so un-baselined absences are fatal regardless.
+    baselined_probes = {key.split(".", 1)[0] for key in baselines}
+    absent = expected_probes(args.bench_dir) - present_probes(args.results_dir)
+    fatal_absent = sorted(
+        absent if not args.allow_missing else absent - baselined_probes
+    )
+    if fatal_absent:
+        print(
+            f"{len(fatal_absent)} probe(s) left no result JSON in "
+            f"{args.results_dir}: {', '.join(fatal_absent)} — run "
+            "`make bench-smoke` (a crashed probe must fail the gate, "
+            "not silently pass it)"
+        )
+        return 1
+
+    rows = compare(baselines, results)
     print(format_report(rows))
     regressed = [r for r in rows if r["status"] == "REGRESSED"]
     missing = [r for r in rows if r["status"] == "MISSING"]

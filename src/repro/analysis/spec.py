@@ -43,7 +43,9 @@ from ..faults.spec import FaultSpec
 #: v5: verify field (static pre-flight: WCET budget + replay lint).
 #: v6: fidelity field (fluid fast-forward tier, repro.fluid).
 #: v7: cluster field (N-board racks with flow affinity, repro.cluster).
-SPEC_VERSION = 7
+#: v8: cluster x fluid composition (per-board fluid engines with warps
+#:     clipped to the sync horizon; the v7 exclusion is lifted).
+SPEC_VERSION = 8
 
 #: Named load-balancer policies (constructed per-spec so state is fresh).
 LB_REGISTRY: Dict[str, Callable[[int], LBPolicy]] = {
@@ -312,11 +314,6 @@ class ExperimentSpec:
                 raise SpecError(
                     "cluster specs cannot carry in-board fault campaigns; "
                     "use cluster events (drain/restore/wedge_board) instead"
-                )
-            if self.fidelity != "event":
-                raise SpecError(
-                    "cluster specs run event-accurate only; the fluid tier "
-                    "cannot track packets across board boundaries"
                 )
             if self.measure != "throughput":
                 raise SpecError(

@@ -576,9 +576,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         lb=_lb(args),
         cpu_backend=_backend(args),
         replay_cache=_replay(args),
+        fidelity=_fidelity(args),
         cluster=ClusterSpec(
             boards=args.boards,
             link_gbps=args.link_gbps,
+            link_latency_cycles=args.link_latency_cycles,
             affinity=args.affinity,
             watchdog_horizons=args.watchdog_horizons,
         ),
@@ -596,12 +598,31 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         title=f"cluster: {args.boards}x boards, {args.affinity} affinity, "
               f"{args.shards} shard(s)",
     ))
-    print(format_table(
-        ["board", "live", "completions", "tx pkts", "rx drops"],
-        [[b["board"], b["live"], b["completions"], b["tx_packets"],
-          b["rx_drops"]] for b in cluster["per_board"]],
-        title="per board",
-    ))
+    if cluster.get("fluid") is not None:
+        print(format_table(
+            ["board", "live", "completions", "tx pkts", "rx drops",
+             "fluid occ", "warps", "de-opts"],
+            [[b["board"], b["live"], b["completions"], b["tx_packets"],
+              b["rx_drops"],
+              f"{b['fluid']['occupancy']['fluid']:.1%}",
+              b["fluid"]["warps"], b["fluid"]["cross_deopts"]]
+             for b in cluster["per_board"]],
+            title="per board",
+        ))
+        agg = cluster["fluid"]
+        print(f"fluid: {agg['boards_engaged']}/{len(cluster['per_board'])} "
+              f"boards warping, {agg['warps']} warps "
+              f"({agg['periods_warped']} periods, "
+              f"{agg['warped_cycles']:g} cycles), "
+              f"{agg['cross_deopts']} cross-board de-opts, "
+              f"occupancy {agg['occupancy']['fluid']:.1%} fluid")
+    else:
+        print(format_table(
+            ["board", "live", "completions", "tx pkts", "rx drops"],
+            [[b["board"], b["live"], b["completions"], b["tx_packets"],
+              b["rx_drops"]] for b in cluster["per_board"]],
+            title="per board",
+        ))
     resilience = cluster["resilience"]
     if cluster["events"] or resilience["watchdog"]:
         for event in cluster["events"]:
@@ -910,6 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--boards", type=int, default=2, help="boards in the rack")
     p.add_argument("--link-gbps", type=float, default=100.0,
                    help="inter-board link rate per direction")
+    p.add_argument("--link-latency-cycles", type=float, default=250.0,
+                   help="inter-board propagation latency (also the "
+                        "barrier lookahead; larger values give fluid "
+                        "boards longer uninterrupted warp windows)")
     p.add_argument("--affinity", choices=["hash", "local"], default="hash",
                    help="flow steering policy across boards")
     p.add_argument("--watchdog-horizons", type=int, default=8,

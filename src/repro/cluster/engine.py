@@ -471,9 +471,32 @@ class ClusterEngine:
                 "tx_packets": self._metrics[b]["tx_packets"],
                 "rx_drops": self._metrics[b]["rx_drops"],
                 "live": b not in self._admin_drained and b not in self._auto_evicted,
+                "fluid": finals[b].get("fluid"),
             }
             for b in range(self.cluster.boards)
         ]
+
+        # rack-level fluid roll-up (None for event-fidelity specs): the
+        # per-board engines warp independently inside their horizon
+        # windows, so the rack totals are plain sums
+        board_fluid = [finals[b].get("fluid") for b in range(self.cluster.boards)]
+        fluid_summary = None
+        if any(f is not None for f in board_fluid):
+            live = [f for f in board_fluid if f is not None]
+            fluid_summary = {
+                "boards_eligible": sum(1 for f in live if f["eligible"]),
+                "boards_engaged": sum(1 for f in live if f["engaged"]),
+                "warps": sum(f["warps"] for f in live),
+                "periods_warped": sum(f["periods_warped"] for f in live),
+                "warped_cycles": sum(f["warped_cycles"] for f in live),
+                "cross_deopts": sum(f["cross_deopts"] for f in live),
+                "occupancy": {
+                    "event": 1.0
+                    - sum(f["occupancy"]["fluid"] for f in live) / len(live),
+                    "fluid": sum(f["occupancy"]["fluid"] for f in live)
+                    / len(live),
+                },
+            }
 
         result = ExperimentResult(
             spec_key=self.spec_key,
@@ -493,6 +516,7 @@ class ClusterEngine:
                 "repinned_flows": repinned,
             },
             "per_board": per_board,
+            "fluid": fluid_summary,
             "events": [dict(e) for e in self._applied_events],
             "resilience": resilience,
         }
@@ -569,6 +593,7 @@ class ClusterEngine:
                     "completions": 0 if m is None else m["completions"],
                     "tx_packets": 0 if m is None else m["tx_packets"],
                     "rx_drops": 0 if m is None else m["rx_drops"],
+                    "fluid": None if m is None else m.get("fluid"),
                 }
             )
         detail = {}

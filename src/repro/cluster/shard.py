@@ -94,6 +94,11 @@ class BoardHarness:
 
             self.system.attach_replay_cache(FirmwareReplayCache())
         self.affinity = ClusterAffinity(cluster, board)
+        #: the board's fluid engine (None for event-fidelity specs).
+        #: Warps are clipped to the sync horizon automatically (advance()
+        #: steps with until_ts=barrier); the harness's job is the de-opt
+        #: contract: any cross-board exchange discards period evidence.
+        self.fluid = self.session._fluid
         freq_hz = self.system.config.clock.freq_hz
         self.links: Dict[int, BoardLink] = {
             dst: BoardLink(cluster.link_gbps, cluster.link_latency_cycles, freq_hz)
@@ -114,6 +119,10 @@ class BoardHarness:
         if owner == self.board:
             self._local_offer(port, packet)
             return
+        if self.fluid is not None:
+            # outgoing cross-board traffic: a warp would skip materializing
+            # these outbox packets, so the period evidence is void
+            self.fluid.note_cross_traffic(f"cross-board steer to board {owner}")
         arrival = self.links[owner].send(self.session.sim.now, len(packet.data))
         self._emit_seq += 1
         self._outbox.append((arrival, self.board, self._emit_seq, owner, port, packet))
@@ -125,12 +134,18 @@ class BoardHarness:
         engine); must run before the window they arrive in."""
         sim = self.session.sim
         offer = self._local_offer
+        delivered = False
         for arrival, _src, _seq, _dst, port, packet in batch:
             sim.schedule_at(
                 arrival,
                 lambda p=port, pkt=packet: offer(p, pkt),
                 name="xboard",
             )
+            delivered = True
+        if delivered and self.fluid is not None:
+            # incoming cross-board traffic: the pending "xboard" events pin
+            # absolute times (pre_step also refuses to warp across them)
+            self.fluid.note_cross_traffic("cross-board delivery")
 
     def advance(self, horizon: float):
         """Run this board up to the barrier; returns (outbox, metrics)."""
@@ -140,6 +155,10 @@ class BoardHarness:
         return out, self.metrics()
 
     def apply_event(self, kind: str, board: int) -> None:
+        if self.fluid is not None:
+            # liveness events bypass session.control (affinity and RPU
+            # state change under the session's feet): de-opt explicitly
+            self.fluid.notify_transient(f"cluster:{kind}:board{board}")
         if kind in ("drain", "evict"):
             self.affinity.drain(board)
         elif kind == "restore":
@@ -166,6 +185,18 @@ class BoardHarness:
         if self.include_host:
             completions += counters.value("to_host")
             completions += counters.value("dropped_by_firmware")
+        fluid = None
+        if self.fluid is not None:
+            fluid = {
+                "warps": self.fluid.warps,
+                "periods_warped": self.fluid.periods_warped,
+                "warped_cycles": self.fluid.warped_cycles,
+                "occupancy_fluid": self.fluid.occupancy()["fluid"],
+                "deopts": len(self.fluid.deopts),
+                "cross_deopts": self.fluid.cross_deopts,
+                "backlog": self.fluid.backlog_now,
+                "backlog_peak": self.fluid.backlog_peak,
+            }
         return {
             "completions": completions,
             "tx_bytes": sum(m.bytes_total for m in system.tx_meters),
@@ -177,6 +208,7 @@ class BoardHarness:
             ),
             "rx_drops": system.total_rx_drops(),
             "rpu_packets": tuple(system.rpu_packet_counts()),
+            "fluid": fluid,
         }
 
     def finalize(self) -> Dict[str, Any]:
@@ -186,6 +218,7 @@ class BoardHarness:
             "counters": self.system.counters.snapshot(),
             "firmware_totals": _firmware_totals(self.system),
             "repinned": self.affinity.repinned,
+            "fluid": None if self.fluid is None else self.fluid.stats(),
         }
 
     def snapshot(self) -> Dict[str, Any]:

@@ -9,12 +9,19 @@ whole periods with arithmetic:
 1. **Boundary capture.** After every emission event of the reference
    source whose ``sent`` counter crosses a multiple of its template
    cycle length, the engine records a boundary: the congruence signature
-   (:func:`repro.fluid.signature.state_signature`), the value of every
-   integer counter cell, every float accumulator, and the latency
+   (:func:`repro.fluid.signature.state_signature`), the queue-occupancy
+   vector (:func:`repro.fluid.signature.queue_occupancy`), the value of
+   every integer counter cell, every float accumulator, and the latency
    samples recorded since the previous boundary.
 
-2. **Period confirmation.** When the latest boundary's signature equals
-   the one ``j`` boundaries back *and* the one ``2j`` back, and the
+2. **Period confirmation.** Boundaries live in a long phase-indexed
+   history (:data:`_HISTORY_LEN` entries) with a signature-hash index,
+   so candidate periods are found in O(1) rather than by scanning — a
+   rotating or contended regime whose orbit only recurs after hundreds
+   of template cycles (the hyperperiod of all source template cycles
+   interleaved with the service pattern) is as provable as a trivial
+   one-boundary loop.  When the newest boundary's signature equals the
+   one ``j`` boundaries back *and* the one ``2j`` back, and the
    integer-counter deltas across the two windows are **exactly** equal
    (floats within 1e-6), the window is a proven period: the system's
    discrete state is congruent and its observable effects repeat.
@@ -22,20 +29,32 @@ whole periods with arithmetic:
 3. **Warp.** At a confirmed boundary the engine advances the clock by
    ``k`` whole periods in one step (:meth:`Simulator.warp`), adds
    ``k x delta`` to every ledger cell — counters, meters, busy-time,
-   ``events_processed`` — shifts in-flight packet timestamps and RPU
-   progress marks, and bulk-records ``k`` copies of the period's latency
-   samples.  Integer counters after a warp are **byte-identical** to
-   what event simulation would have produced; float-derived readings
-   agree to ~1e-9 relative (clock ulp accumulation).
+   drop counters, ``events_processed`` — shifts in-flight packet
+   timestamps and RPU progress marks, and bulk-records ``k`` copies of
+   the period's latency samples.  Integer counters after a warp are
+   **byte-identical** to what event simulation would have produced;
+   float-derived readings agree to ~1e-9 relative (clock ulp
+   accumulation).
+
+4. **Phase-indexed re-arming.** Because counter deltas over one *full*
+   period are the same from any phase of the orbit (a cyclic sum), the
+   proven period licenses a warp from *every* boundary of the orbit,
+   not just the phase it was confirmed at.  After a warp the history is
+   translated into the warped frame, so the very next event-wise
+   boundary re-arms by matching one period back — long-period regimes
+   warp repeatedly without re-paying the 2j-boundary detection cost.
 
 ``k`` is capped so that every externally meaningful transition — a
-measurement phase change, an ``until_ts`` bound, any scheduled event
-beyond the periodicity horizon (fault triggers, watchdog polls) — still
-happens *event-wise* at its exact event boundary.  Anything aperiodic
-therefore de-optimizes the engine naturally: a control action or
-injection calls :meth:`FluidEngine.notify_transient`, a drifting queue
-changes the signature, and either way the engine falls back to pure
-event simulation until a new steady state is proven.
+measurement phase change, an ``until_ts`` bound (which is how cluster
+warps clip to the sync-horizon barrier), any scheduled event beyond the
+periodicity horizon (fault triggers, watchdog polls) — still happens
+*event-wise* at its exact event boundary.  Anything aperiodic therefore
+de-optimizes the engine naturally: a control action or injection calls
+:meth:`FluidEngine.notify_transient`, a cross-board packet exchange
+calls :meth:`FluidEngine.note_cross_traffic` (and any pending
+``xboard`` delivery blocks the warp outright), a drifting queue changes
+the signature, and either way the engine falls back to pure event
+simulation until a new steady state is proven.
 """
 
 from __future__ import annotations
@@ -44,21 +63,31 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from .signature import state_signature
+from .signature import queue_occupancy, state_signature
 
 #: boundaries kept for period detection; max detectable period spans
-#: ``_RING_LEN // 2`` boundaries
-_RING_LEN = 10
+#: ``(_HISTORY_LEN - 1) // 2`` boundaries.  Sized for contended
+#: multi-hundred-boundary hyperperiods (the artifact's 4-RPU contended
+#: point recurs every 275 template cycles) with headroom.
+_HISTORY_LEN = 1408
+#: signature-hash candidate matches tried per boundary before giving up
+#: (bounds worst-case work under adversarial hash collisions)
+_MAX_CANDIDATES = 12
 #: de-opt records kept in stats
 _MAX_DEOPTS = 16
 #: relative tolerance for float cells / period durations across windows
 _FLOAT_RTOL = 1e-6
+#: event name used by the cluster harness for cross-board deliveries;
+#: a pending event with this name pins absolute time and blocks warps
+_XBOARD_EVENT = "xboard"
 
 
 @dataclass
 class _Boundary:
     time: float
     signature: Optional[Tuple]
+    sig_hash: Optional[int]
+    occupancy: Tuple[int, ...]
     ints: Tuple[int, ...]
     floats: Tuple[float, ...]
     completions: Optional[int]
@@ -73,6 +102,7 @@ class _Steady:
     """A proven period: duration plus the per-period ledger deltas."""
 
     period: float
+    period_boundaries: int
     sig: Tuple
     int_deltas: Tuple[int, ...]
     float_deltas: Tuple[float, ...]
@@ -124,9 +154,15 @@ class FluidEngine:
         self.warped_cycles = 0.0
         self.measured_pps: Optional[float] = None
         self.deopts: List[Dict[str, Any]] = []
+        self.cross_deopts = 0
+        self.conservation_refusals = 0
+        self.backlog_peak = 0
+        self.backlog_now = 0
 
         # -- detection state ------------------------------------------------
-        self._ring: List[_Boundary] = []
+        self._hist: List[_Boundary] = []
+        self._hist_base = 0  # absolute index of _hist[0]
+        self._sig_index: Dict[int, List[int]] = {}  # sig hash -> abs indices
         self._steady: Optional[_Steady] = None
         self._armed = False
         self._horizon: Optional[float] = None
@@ -138,6 +174,9 @@ class FluidEngine:
             self._boundary_every = max(1, profile[0])
         self._int_cells: List[Tuple[str, Any, str]] = []
         self._float_cells: List[Tuple[str, Any, str]] = []
+        self._sent_ix: List[int] = []
+        self._drop_ix: List[int] = []
+        self._done_ix: List[int] = []
         if self.enabled:
             self._build_cells()
 
@@ -147,20 +186,34 @@ class FluidEngine:
         self.enabled = False
         self.reasons.append(reason)
 
-    def notify_transient(self, reason: str) -> None:
+    def notify_transient(self, reason: str, rebuild_cells: bool = True) -> None:
         """A live control action / injection / new feed happened: discard
         all periodicity evidence and recalibrate from scratch."""
         if not self.enabled:
             return
-        if self._ring or self._steady is not None:
+        if self._hist or self._steady is not None:
             if len(self.deopts) < _MAX_DEOPTS:
                 self.deopts.append({"t": self.sim.now, "reason": reason})
-        self._ring.clear()
+        self._hist.clear()
+        self._hist_base = 0
+        self._sig_index.clear()
         self._steady = None
         self._armed = False
         self._horizon = None
-        # firmware/policy objects may have been swapped: re-enumerate cells
-        self._build_cells()
+        if rebuild_cells:
+            # firmware/policy objects may have been swapped: re-enumerate
+            self._build_cells()
+
+    def note_cross_traffic(self, reason: str) -> None:
+        """A packet crossed a board boundary (either direction): the
+        period evidence no longer describes a closed system, so de-opt.
+        Deliberately cheap when there is no evidence to discard — a
+        hash-affine cluster board calls this on every remote steer."""
+        if not self.enabled:
+            return
+        self.cross_deopts += 1
+        if self._hist or self._steady is not None:
+            self.notify_transient(reason, rebuild_cells=False)
 
     def notify_feed(self, feed) -> None:
         """A feed was added mid-run: extend the source set or bail out."""
@@ -235,6 +288,22 @@ class FluidEngine:
 
         self._int_cells = ints
         self._float_cells = floats
+        # index sets for the contended conservation cross-check: offered
+        # emissions, MAC-level drop sinks, and completion sinks
+        self._sent_ix = [
+            i for i, (lbl, _o, _a) in enumerate(ints) if lbl.startswith("src.")
+        ]
+        self._drop_ix = [
+            i
+            for i, (lbl, _o, _a) in enumerate(ints)
+            if lbl.count(".") == 1 and lbl.startswith("mac") and lbl.endswith("drops")
+        ]
+        self._done_ix = [
+            i
+            for i, (lbl, _o, _a) in enumerate(ints)
+            if lbl in ("system.delivered", "system.to_host",
+                       "system.dropped_by_firmware")
+        ]
 
     def _read_ints(self) -> Tuple[int, ...]:
         return tuple(getattr(obj, attr) for _l, obj, attr in self._int_cells)
@@ -258,12 +327,22 @@ class FluidEngine:
         else:
             self._armed = False
 
+    def _evict_oldest(self) -> None:
+        old = self._hist.pop(0)
+        if old.sig_hash is not None:
+            bucket = self._sig_index.get(old.sig_hash)
+            if bucket and bucket[0] == self._hist_base:
+                bucket.pop(0)
+                if not bucket:
+                    del self._sig_index[old.sig_hash]
+        self._hist_base += 1
+
     def _capture_boundary(self) -> None:
-        ring = self._ring
+        hist = self._hist
         now = self.sim.now
         self._armed = False
-        if self._horizon is None and ring:
-            spacing = now - ring[-1].time
+        if self._horizon is None and hist:
+            spacing = now - hist[-1].time
             if spacing <= 0:
                 self.notify_transient("non-positive boundary spacing")
                 return
@@ -272,23 +351,32 @@ class FluidEngine:
             self._horizon = 2.0 * spacing
 
         sig = None
+        sig_hash = None
         if self._horizon is not None:
             sig = state_signature(self.system, self.sources, self._horizon)
+            sig_hash = hash(sig)
 
-        hist = self.system.latency_us
-        hist_id = id(hist)
-        hist_len = hist.raw_count
+        occupancy = queue_occupancy(self.system)
+        self.backlog_now = sum(occupancy)
+        if self.backlog_now > self.backlog_peak:
+            self.backlog_peak = self.backlog_now
+
+        latency = self.system.latency_us
+        hist_id = id(latency)
+        hist_len = latency.raw_count
         hist_slice: Optional[Tuple[float, ...]] = None
-        if ring and ring[-1].hist_id == hist_id and hist_len >= ring[-1].hist_len:
-            hist_slice = tuple(hist.samples_tail(ring[-1].hist_len))
+        if hist and hist[-1].hist_id == hist_id and hist_len >= hist[-1].hist_len:
+            hist_slice = tuple(latency.samples_tail(hist[-1].hist_len))
 
         driver = self.session._measurement
         completions = driver.completions() if driver is not None else None
 
-        ring.append(
+        hist.append(
             _Boundary(
                 time=now,
                 signature=sig,
+                sig_hash=sig_hash,
+                occupancy=occupancy,
                 ints=self._read_ints(),
                 floats=self._read_floats(),
                 completions=completions,
@@ -298,79 +386,144 @@ class FluidEngine:
                 hist_slice=hist_slice,
             )
         )
-        if len(ring) > _RING_LEN:
-            ring.pop(0)
+        while len(hist) > _HISTORY_LEN:
+            self._evict_oldest()
         if sig is None:
             return
+        self._sig_index.setdefault(sig_hash, []).append(
+            self._hist_base + len(hist) - 1
+        )
         self._try_confirm()
         if not self._armed and self._steady is not None and sig == self._steady.sig:
             # congruent with the proven period even though this window
-            # didn't re-confirm (e.g. right after a warp reset the ring)
+            # didn't re-confirm (e.g. right after a transient cleared
+            # the history)
             self._armed = True
 
     def _try_confirm(self) -> None:
-        ring = self._ring
-        for j in range(1, (len(ring) - 1) // 2 + 1):
-            a, b, c = ring[-1], ring[-1 - j], ring[-1 - 2 * j]
-            if a.signature is None or a.signature != b.signature:
-                continue
-            if b.signature != c.signature:
-                continue
-            d_ab = tuple(x - y for x, y in zip(a.ints, b.ints))
-            d_bc = tuple(x - y for x, y in zip(b.ints, c.ints))
-            if d_ab != d_bc:
-                continue
-            p_ab = a.time - b.time
-            p_bc = b.time - c.time
-            if p_ab <= 0 or not math.isclose(p_ab, p_bc, rel_tol=_FLOAT_RTOL):
-                continue
-            f_ab = tuple(x - y for x, y in zip(a.floats, b.floats))
-            f_bc = tuple(x - y for x, y in zip(b.floats, c.floats))
-            if any(
-                not math.isclose(x, y, rel_tol=_FLOAT_RTOL, abs_tol=1e-6)
-                for x, y in zip(f_ab, f_bc)
-            ):
-                continue
-            if a.host_rx_len != b.host_rx_len:
-                # host_rx accumulates real packet objects; extrapolating a
-                # growing list is not possible, so never warp across it
-                continue
-            samples = self._window_samples(j)
-            if samples is None:
-                continue
-            completions_delta = None
-            if a.completions is not None and b.completions is not None:
-                completions_delta = a.completions - b.completions
-            steady = _Steady(
-                period=p_ab,
-                sig=a.signature,
-                int_deltas=d_ab,
-                float_deltas=f_ab,
-                completions_delta=completions_delta,
-                period_samples=samples,
-                horizon=self._horizon,
-            )
-            if not self._feasible(steady):
-                continue
-            self._steady = steady
-            self._armed = True
+        hist = self._hist
+        cur = hist[-1]
+        if cur.signature is None:
             return
+        n = self._hist_base + len(hist) - 1
+
+        # fast path: the orbit is already proven; counter deltas over one
+        # full period are a cyclic sum, identical from any phase, so a
+        # match one period back re-arms the warp at this phase without
+        # re-paying triple confirmation
+        st = self._steady
+        if st is not None:
+            i = n - st.period_boundaries
+            if i >= self._hist_base:
+                b = hist[i - self._hist_base]
+                if (
+                    cur.occupancy == b.occupancy
+                    and cur.host_rx_len == b.host_rx_len
+                    and cur.sig_hash == b.sig_hash
+                    and math.isclose(
+                        cur.time - b.time, st.period, rel_tol=_FLOAT_RTOL
+                    )
+                    and tuple(x - y for x, y in zip(cur.ints, b.ints))
+                    == st.int_deltas
+                    and cur.signature == b.signature
+                ):
+                    self._armed = True
+                    return
+
+        # full search: hash-indexed candidate phases, most recent first
+        candidates = self._sig_index.get(cur.sig_hash, ())
+        tried = 0
+        for i in reversed(candidates):
+            if i >= n:
+                continue
+            j = n - i
+            back2 = n - 2 * j
+            if back2 < self._hist_base:
+                break  # older candidates only push back2 further out
+            tried += 1
+            if tried > _MAX_CANDIDATES:
+                return
+            b = hist[i - self._hist_base]
+            c = hist[back2 - self._hist_base]
+            if self._confirm_window(cur, b, c, j):
+                return
+
+    def _confirm_window(self, a: _Boundary, b: _Boundary, c: _Boundary,
+                        j: int) -> bool:
+        if a.occupancy != b.occupancy or b.occupancy != c.occupancy:
+            return False
+        if a.signature is None or a.signature != b.signature:
+            return False
+        if b.signature != c.signature:
+            return False
+        d_ab = tuple(x - y for x, y in zip(a.ints, b.ints))
+        d_bc = tuple(x - y for x, y in zip(b.ints, c.ints))
+        if d_ab != d_bc:
+            return False
+        p_ab = a.time - b.time
+        p_bc = b.time - c.time
+        if p_ab <= 0 or not math.isclose(p_ab, p_bc, rel_tol=_FLOAT_RTOL):
+            return False
+        f_ab = tuple(x - y for x, y in zip(a.floats, b.floats))
+        f_bc = tuple(x - y for x, y in zip(b.floats, c.floats))
+        if any(
+            not math.isclose(x, y, rel_tol=_FLOAT_RTOL, abs_tol=1e-6)
+            for x, y in zip(f_ab, f_bc)
+        ):
+            return False
+        if a.host_rx_len != b.host_rx_len:
+            # host_rx accumulates real packet objects; extrapolating a
+            # growing list is not possible, so never warp across it
+            return False
+        samples = self._window_samples(j)
+        if samples is None:
+            return False
+        completions_delta = None
+        if a.completions is not None and b.completions is not None:
+            completions_delta = a.completions - b.completions
+        steady = _Steady(
+            period=p_ab,
+            period_boundaries=j,
+            sig=a.signature,
+            int_deltas=d_ab,
+            float_deltas=f_ab,
+            completions_delta=completions_delta,
+            period_samples=samples,
+            horizon=self._horizon,
+        )
+        if not self._feasible(steady):
+            return False
+        self._steady = steady
+        self._armed = True
+        return True
 
     def _window_samples(self, j: int) -> Optional[Tuple[float, ...]]:
         """Latency samples recorded across the last ``j`` boundaries, or
         None if any slice is unusable (histogram swapped mid-window)."""
         out: List[float] = []
-        hist_id = self._ring[-1].hist_id
-        for boundary in self._ring[-j:]:
+        hist_id = self._hist[-1].hist_id
+        for boundary in self._hist[-j:]:
             if boundary.hist_slice is None or boundary.hist_id != hist_id:
                 return None
             out.extend(boundary.hist_slice)
         return tuple(out)
 
     def _feasible(self, steady: _Steady) -> bool:
-        """Cross-check the observed period against the static WCET budget:
-        a measured rate above the verified analytic bound would mean the
-        period evidence contradicts the proof, so refuse to engage."""
+        """Cross-check the observed period against the static analysis:
+        a measured rate above the verified analytic WCET bound, or a
+        contended window whose drop ledger violates packet conservation,
+        would mean the period evidence contradicts the proof — refuse
+        to engage rather than extrapolate a contradiction."""
+        drops = sum(steady.int_deltas[i] for i in self._drop_ix)
+        if drops > 0:
+            # contended window: every offered packet must land in exactly
+            # one sink (delivered / host / firmware drop / MAC drop) for
+            # the drop counters to extrapolate exactly
+            sent = sum(steady.int_deltas[i] for i in self._sent_ix)
+            done = sum(steady.int_deltas[i] for i in self._done_ix)
+            if sent != done + drops:
+                self.conservation_refusals += 1
+                return False
         if steady.completions_delta is None or steady.completions_delta <= 0:
             self.measured_pps = None
             return True
@@ -416,7 +569,11 @@ class FluidEngine:
             return False
 
         far_min: Optional[float] = None
-        for t, _name in self.sim.iter_pending():
+        for t, name in self.sim.iter_pending():
+            if name == _XBOARD_EVENT:
+                # a cross-board delivery is pinned to absolute time;
+                # warping would shift or skip it — hard de-opt
+                return False
             if t - now > st.horizon and (far_min is None or t < far_min):
                 far_min = t
         if far_min is not None:
@@ -449,10 +606,17 @@ class FluidEngine:
         if st.period_samples:
             self.system.latency_us.record_repeated(st.period_samples, k)
 
-        # translate the boundary ring into the warped frame so the very
-        # next event-wise boundary re-confirms against it (otherwise every
-        # warp would cost 2j periods of re-detection)
-        for boundary in self._ring:
+        # translate the boundary history into the warped frame so the
+        # very next event-wise boundary re-confirms against it (otherwise
+        # every warp would cost 2j periods of re-detection).  Only the
+        # most recent 2j+4 boundaries can ever take part in a future
+        # confirmation at this period, so older ones are dropped instead
+        # of translated — that keeps per-warp work proportional to the
+        # period, not the history capacity.
+        keep = 2 * st.period_boundaries + 4
+        while len(self._hist) > keep:
+            self._evict_oldest()
+        for boundary in self._hist:
             boundary.time += delta
             boundary.ints = tuple(
                 v + k * d for v, d in zip(boundary.ints, st.int_deltas)
@@ -477,6 +641,16 @@ class FluidEngine:
 
     def stats(self) -> Dict[str, Any]:
         st = self._steady
+        # runtime contention: the gate's static flag predicts contention
+        # from offered vs WCET capacity, but the real bottleneck can sit
+        # upstream of the firmware (e.g. MAC rx FIFO overflow), so a
+        # proven period with a nonzero drop ledger is contended no matter
+        # what the static prediction said
+        period_drops = (
+            sum(st.int_deltas[i] for i in self._drop_ix)
+            if st is not None
+            else None
+        )
         return {
             "requested": True,
             "eligible": self.enabled,
@@ -487,12 +661,24 @@ class FluidEngine:
             "warped_cycles": self.warped_cycles,
             "occupancy": self.occupancy(),
             "period_cycles": st.period if st is not None else None,
+            "period_boundaries": (
+                st.period_boundaries if st is not None else None
+            ),
             "packets_per_period": (
                 st.completions_delta if st is not None else None
             ),
             "measured_pps": self.measured_pps,
             "wcet_cycles": self.gate.wcet_cycles,
             "analytic_pps": self.gate.analytic_pps,
+            "offered_pps": getattr(self.gate, "offered_pps", None),
+            "contended": bool(
+                getattr(self.gate, "contended", False)
+                or (period_drops or 0) > 0
+            ),
+            "drops_per_period": period_drops,
+            "backlog": {"current": self.backlog_now, "peak": self.backlog_peak},
             "lint_classification": self.gate.lint_classification,
             "deopts": list(self.deopts),
+            "cross_deopts": self.cross_deopts,
+            "conservation_refusals": self.conservation_refusals,
         }

@@ -59,6 +59,42 @@ def _fabric_state(fabric) -> Tuple:
     return switches, links
 
 
+def queue_occupancy(system) -> Tuple[int, ...]:
+    """Per-queue packet depths in a fixed structural order.
+
+    This is the *bounded-growth ledger* view of the system: a cheap
+    integer vector the engine stores at every boundary.  It serves as
+    (a) a fast pre-filter before full-signature comparison (occupancy
+    equality is implied by signature equality, and comparing a few
+    dozen ints rejects most non-matching phases without touching the
+    big nested tuples), (b) the backlog telemetry surfaced in
+    :meth:`FluidEngine.stats`, and (c) the growth gate: a proven period
+    has zero occupancy growth *by construction* (queue contents are
+    part of the signature), so warps can never extrapolate across an
+    unboundedly growing backlog — such a regime simply never proves.
+    """
+    out = []
+    for mac in system.macs:
+        out.append(len(mac.rx_fifo._items))
+        out.append(len(mac._rx_link.queue._items))
+        out.append(len(mac._tx_link.queue._items))
+    for ing in system.port_ingress:
+        out.append(0 if ing._current is None else 1)
+    for fabric in (system.fabric_in, system.fabric_out):
+        for sw in fabric.cluster_switches:
+            out.append(sum(len(sw._queues[cls]) for cls in sw.INPUT_CLASSES))
+        for rl in fabric.rpu_links:
+            out.append(len(rl.link.queue._items))
+    for rpu in system.rpus:
+        out.append(len(rpu._in_queue))
+        out.append(len(rpu._accel_queue))
+        out.append(len(rpu._results))
+    out.append(len(system.host_link.queue._items))
+    out.append(len(system.loopback.link.queue._items))
+    out.append(len(system.host_rx))
+    return tuple(out)
+
+
 def state_signature(system, sources, horizon: float) -> Tuple:
     """The full congruence fingerprint of ``system`` at this instant.
 

@@ -32,6 +32,8 @@ class FluidGate:
     asm_twin: Optional[str] = None
     wcet_cycles: Optional[int] = None
     analytic_pps: Optional[float] = None
+    offered_pps: Optional[float] = None
+    contended: bool = False
 
     def block(self, reason: str) -> None:
         self.eligible = False
@@ -46,6 +48,8 @@ class FluidGate:
             "asm_twin": self.asm_twin,
             "wcet_cycles": self.wcet_cycles,
             "analytic_pps": self.analytic_pps,
+            "offered_pps": self.offered_pps,
+            "contended": self.contended,
         }
 
 
@@ -106,4 +110,14 @@ def fluid_gate(spec) -> FluidGate:
             wcet_cycles=wcet.wcet_cycles,
             accel_cycles=_accel_worst_cycles(accel, spec.traffic.packet_size),
         )
+    # contended classification: offered load above the WCET-derived
+    # service capacity means backlogged queues and drops are *expected*,
+    # and the engine's runtime conservation cross-check (offered ==
+    # completions + drops per period, exactly) becomes load-bearing
+    gate.offered_pps = spec.traffic.offered_gbps * 1e9 / (
+        8.0 * spec.traffic.packet_size
+    )
+    gate.contended = (
+        gate.analytic_pps is not None and gate.offered_pps > gate.analytic_pps
+    )
     return gate

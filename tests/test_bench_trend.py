@@ -65,6 +65,7 @@ def test_update_then_gate_passes(results_dir, tmp_path):
     assert (
         trend.main([
             "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+            "--bench-dir", str(tmp_path),
         ])
         == 0
     )
@@ -87,6 +88,7 @@ def test_degraded_metric_fails_the_gate(results_dir, tmp_path):
     assert (
         trend.main([
             "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+            "--bench-dir", str(tmp_path),
         ])
         == 1
     )
@@ -114,9 +116,50 @@ def test_missing_metric_is_loud_unless_allowed(results_dir, tmp_path):
     baselines_path = tmp_path / "baselines.json"
     trend.update_baselines(trend.collect_results(results_dir), baselines_path)
     (results_dir / "demo_probe.json").unlink()
-    argv = ["--results-dir", str(results_dir), "--baselines", str(baselines_path)]
+    # the probe script exists, so its absent result is also a
+    # probe-level absence — but it IS baselined, so --allow-missing
+    # still excuses it (partial local runs stay possible)
+    (tmp_path / "demo_probe.py").write_text("# probe stub\n")
+    argv = [
+        "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+        "--bench-dir", str(tmp_path),
+    ]
     assert trend.main(argv) == 1
     assert trend.main(argv + ["--allow-missing"]) == 0
+
+
+def test_unbaselined_absent_probe_fails_even_with_allow_missing(
+    results_dir, tmp_path, capsys
+):
+    """A probe that crashed before persisting AND was never baselined
+    must not silently pass: there are no MISSING rows to trip on, so
+    the probe-level completeness check is the only thing that catches
+    it — and --allow-missing does not excuse it."""
+    baselines_path = tmp_path / "baselines.json"
+    trend.update_baselines(trend.collect_results(results_dir), baselines_path)
+    (tmp_path / "demo_probe.py").write_text("# probe stub\n")
+    (tmp_path / "brandnew_probe.py").write_text("# probe stub\n")
+    argv = [
+        "--results-dir", str(results_dir), "--baselines", str(baselines_path),
+        "--bench-dir", str(tmp_path),
+    ]
+    assert trend.main(argv) == 1
+    assert trend.main(argv + ["--allow-missing"]) == 1
+    assert "brandnew_probe" in capsys.readouterr().out
+
+
+def test_expected_probes_derive_from_scripts(tmp_path):
+    (tmp_path / "alpha_probe.py").write_text("# probe stub\n")
+    (tmp_path / "beta_probe.py").write_text("# probe stub\n")
+    (tmp_path / "helper.py").write_text("# not a probe\n")
+    assert trend.expected_probes(tmp_path) == {"alpha_probe", "beta_probe"}
+
+
+def test_repo_probe_scripts_all_baselined():
+    """Every committed *_probe.py has baseline coverage, so the
+    probe-level gate can excuse partial runs without going blind."""
+    baselined = {k.split(".", 1)[0] for k in trend.load_baselines()}
+    assert trend.expected_probes() <= baselined
 
 
 def test_update_preserves_hand_tuned_bands(results_dir, tmp_path):

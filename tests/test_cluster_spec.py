@@ -88,7 +88,7 @@ def test_cluster_changes_cache_key():
     assert '"boards": 2' in blob
 
 
-def test_cluster_excludes_faults_fluid_and_latency():
+def test_cluster_excludes_faults_and_latency():
     cluster = ClusterSpec(boards=2)
     with pytest.raises(SpecError):
         ExperimentSpec(
@@ -96,9 +96,20 @@ def test_cluster_excludes_faults_fluid_and_latency():
             faults=({"kind": "rpu_wedge", "at_cycles": 1000.0, "target": 0},),
         )
     with pytest.raises(SpecError):
-        ExperimentSpec(cluster=cluster, fidelity="fluid")
-    with pytest.raises(SpecError):
         ExperimentSpec(cluster=cluster, measure="latency")
+
+
+def test_cluster_composes_with_fluid_fidelity():
+    # spec v8: cluster x fluid is no longer excluded — per-board fluid
+    # engines warp inside the sync horizon (tests/test_fluid_contended.py
+    # holds the rack to byte-identity with the event-accurate run)
+    spec = ExperimentSpec(cluster=ClusterSpec(boards=2), fidelity="fluid")
+    assert spec.fidelity == "fluid"
+    assert spec.cluster.boards == 2
+    assert (
+        spec.cache_key()
+        != ExperimentSpec(cluster=ClusterSpec(boards=2)).cache_key()
+    )
 
 
 def test_sim_session_refuses_cluster_specs():

@@ -80,11 +80,15 @@ class TestThroughputDifferential:
         assert rf.firmware_totals["forwarded"] == re.firmware_totals["forwarded"]
 
     def test_contended_regime_refuses_but_stays_exact(self):
-        # a starved cluster behind a tiny rx FIFO drops every period,
-        # but the backlogged queues never re-prove the same phase, so
-        # the detector must refuse to engage — and the run must remain
-        # byte-identical to the event run (the safety half of the
-        # contract: never warp a state you cannot prove periodic)
+        # a starved cluster behind a tiny rx FIFO drops every period.
+        # The rotating-period detector CAN prove this regime (the drop
+        # pattern recurs after 275 boundaries — see
+        # test_fluid_contended.py and fluid_contended_probe.py), but at
+        # this short window the confirmation (two full extra periods)
+        # cannot complete before the measurement ends, so the engine
+        # must refuse to warp — and the run must remain byte-identical
+        # to the event run (the safety half of the contract: never warp
+        # a state you cannot prove periodic *within the window*)
         spec = ExperimentSpec(
             config=RosebudConfig(n_rpus=4, mac_rx_fifo_packets=8),
             traffic=TRAFFIC,
