@@ -44,21 +44,24 @@ bench-trend:
 bench-trend-update:
 	PYTHONPATH=src $(PYTHON) benchmarks/trend.py --update
 
-# Lint + bytecode-compile; ruff is optional locally (CI always has it).
+# Lint + determinism lint + bytecode-compile; ruff is optional locally
+# (CI always has it), the detlint AST pass always runs.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
+	PYTHONPATH=src $(PYTHON) -m repro.verify.detlint
 	$(PYTHON) -m compileall -q src
 
 # Static firmware verification gate: every bundled firmware must hold
-# its documented operating point (CFG/WCET budget, MMIO footprint,
-# floorplan, replay lint), and the full pass must stay fast enough to
-# run as a sweep pre-flight.
+# its documented operating point (CFG/WCET budget, abstract
+# interpretation with memory-safety proofs and inferred loop bounds,
+# MMIO footprint, floorplan, replay lint), and the full deep pass must
+# stay fast enough to run as a sweep pre-flight.
 verify-fw:
-	PYTHONPATH=src $(PYTHON) -m repro.cli verify --all
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify --all --deep
 	PYTHONPATH=src $(PYTHON) benchmarks/verify_probe.py
 
 # Online serving-mode smoke: replay the scripted scenario (hot

@@ -1,16 +1,20 @@
 """Standalone static-verification probe for ``make verify-fw``.
 
-Runs the full ``repro.verify`` pipeline (CFG build, WCET, MMIO
-footprint check, floorplan check, replay lint) over every bundled
-firmware at its documented operating point and asserts:
+Runs the full ``repro.verify`` pipeline (CFG build, abstract
+interpretation with loop-bound inference and memory-safety proofs,
+WCET, MMIO footprint check, floorplan check, replay lint) over every
+bundled firmware at its documented operating point and asserts:
 
 * every firmware PASSes its line-rate budget (the CI gate's contract —
   a regression that bloats a firmware past its budget fails here
   before it fails in a days-long sweep);
+* every firmware's memory safety is fully proven — zero unproven
+  access sites and zero violations (the paper's "catch it before the
+  FPGA build" pitch, statically);
 * no error-level diagnostics (unknown MMIO, self-modifying stores,
-  unplaceable RPU counts);
-* the whole pass stays under ``FLOOR_VERIFY_SECONDS`` wall clock, so
-  the engine pre-flight stays effectively free per sweep point.
+  unplaceable RPU counts, loop-bound mismatches);
+* the whole deep pass stays under ``FLOOR_VERIFY_SECONDS`` wall clock,
+  so the engine pre-flight stays effectively free per sweep point.
 
 Floors live in ``benchmarks/conftest.py`` (``REPRO_CI=1`` relaxes the
 runtime ceiling for shared runners; verdicts are deterministic and
@@ -33,23 +37,48 @@ def main() -> int:
     elapsed = time.perf_counter() - start
 
     failed = []
+    unsafe = []
+    proven = unproven = violations = inferred_bounds = 0
     for report in reports:
         print(report.verdict.summary())
+        s = report.safety
+        proven += s.proven
+        unproven += s.unproven
+        violations += s.violations
+        inferred_bounds += sum(
+            1 for p in (report.wcet.bound_provenance or {}).values()
+            if p == "inferred"
+        )
+        print(f"  memory safety: {s.proven} proven / {s.unproven} unproven "
+              f"/ {s.violations} violation(s); stack "
+              f"{s.stack_depth_bytes}/{s.stack_limit_bytes} B")
         for diag in report.all_diagnostics():
             print(f"  {diag.format()}")
         if not report.passed:
             failed.append(report.name)
+        if s.unproven or s.violations or not s.passed:
+            unsafe.append(report.name)
 
     print(f"\nverified {len(reports)} firmwares in {elapsed:.2f}s "
-          f"(floor {FLOOR_VERIFY_SECONDS:.0f}s)")
+          f"(floor {FLOOR_VERIFY_SECONDS:.0f}s); "
+          f"{proven} access sites proven, {inferred_bounds} loop bound(s) "
+          "inferred")
     persist_probe_json("verify_probe", {
         "firmwares": len(reports),
         "elapsed_s": elapsed,
         "ceiling_s": FLOOR_VERIFY_SECONDS,
         "failed": failed,
+        "proven_accesses": proven,
+        "unproven_accesses": unproven,
+        "memsafe_violations": violations,
+        "inferred_bounds": inferred_bounds,
+        "all_memory_safe": not unsafe,
     })
     if failed:
         print(f"FAIL: {failed} miss their documented line-rate budget")
+        return 1
+    if unsafe:
+        print(f"FAIL: {unsafe} have unproven or violating memory accesses")
         return 1
     if elapsed > FLOOR_VERIFY_SECONDS:
         print(f"FAIL: verification took {elapsed:.2f}s "

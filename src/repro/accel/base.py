@@ -40,6 +40,7 @@ class Accelerator:
 
     def __init__(self) -> None:
         self._regs: Dict[int, Tuple[Optional[callable], Optional[callable], int]] = {}
+        self._reg_meta: Dict[int, Dict[str, object]] = {}
         self._fault_active = False
         #: results that went through the poisoned response path
         self.results_poisoned = 0
@@ -50,9 +51,40 @@ class Accelerator:
         nbytes: int,
         read=None,
         write=None,
+        *,
+        value_range: Optional[Tuple[int, int]] = None,
+        stream_depth: Optional[int] = None,
+        stream_advance: bool = False,
     ) -> None:
-        """Register a handler: ``read()`` -> int, ``write(value)``."""
+        """Register a handler: ``read()`` -> int, ``write(value)``.
+
+        The keyword metadata is the accelerator's *static contract*,
+        consumed by the firmware verifier (``repro.verify.absint``):
+
+        * ``value_range`` — every read provably lies in ``[lo, hi]``;
+        * ``stream_depth`` — reads pop a hardware FIFO of at most this
+          many words, ending with a zero marker (drain loops over the
+          register are therefore bounded by the depth);
+        * ``stream_advance`` — writes advance that FIFO's head.
+
+        Declaring a contract the hardware does not keep would make the
+        verifier unsound, so implementations must enforce it (see the
+        Pigasus matcher's FIFO cap).
+        """
         self._regs[offset] = (read, write, nbytes)
+        meta: Dict[str, object] = {}
+        if value_range is not None:
+            meta["value_range"] = (int(value_range[0]), int(value_range[1]))
+        if stream_depth is not None:
+            meta["stream_depth"] = int(stream_depth)
+        if stream_advance:
+            meta["stream_advance"] = True
+        if meta:
+            self._reg_meta[offset] = meta
+
+    def reg_meta(self, offset: int) -> Dict[str, object]:
+        """Static-contract metadata for one register (may be empty)."""
+        return dict(self._reg_meta.get(offset, ()))
 
     # -- MMIO entry points (offset within the accelerator window) --------------
 

@@ -102,7 +102,9 @@ class IpBlacklistMatcher(Accelerator):
         self._match_flag = 0
         self.lookups = 0
         self.define_register(self.REG_SRC_IP, 4, write=self._write_ip)
-        self.define_register(self.REG_MATCH, 1, read=lambda: self._match_flag)
+        self.define_register(
+            self.REG_MATCH, 1, read=lambda: self._match_flag, value_range=(0, 1)
+        )
 
     def _write_ip(self, ip: int) -> None:
         # firmware does a little-endian word load of the network-order

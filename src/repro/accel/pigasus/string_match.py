@@ -31,6 +31,13 @@ BYTES_PER_CYCLE = 16
 #: Cycles to stream one table word into URAM over the added write port.
 TABLE_LOAD_BYTES_PER_CYCLE = 16
 
+#: Capacity of the hardware match FIFO, end-of-packet marker included.
+#: This is a *verified contract*: the wrapper declares it as
+#: ``stream_depth`` on ``REG_RULE_ID``, the static verifier bounds
+#: firmware drain loops by it, so the functional model must enforce it
+#: (overflowing matches are dropped and counted, as the RTL would).
+MATCH_FIFO_DEPTH = 8
+
 
 class AhoCorasick:
     """A plain Aho–Corasick automaton over byte strings."""
@@ -127,11 +134,24 @@ class PigasusStringMatcher(Accelerator):
         self._dst_port = 0
         self.packets_scanned = 0
         self.bytes_scanned = 0
-        self.define_register(self.REG_CTRL, 1, read=self._read_match_flag, write=self._write_ctrl)
+        self.matches_overflowed = 0
+        self.define_register(
+            self.REG_CTRL,
+            1,
+            read=self._read_match_flag,
+            write=self._write_ctrl,
+            value_range=(0, 1),
+            stream_advance=True,
+        )
         self.define_register(self.REG_DMA_LEN, 4, write=self._write_len)
         self.define_register(self.REG_DMA_ADDR, 4, write=self._write_addr)
         self.define_register(self.REG_PORTS, 4, write=self._write_ports)
-        self.define_register(self.REG_RULE_ID, 4, read=self._read_rule_id)
+        self.define_register(
+            self.REG_RULE_ID,
+            4,
+            read=self._read_rule_id,
+            stream_depth=MATCH_FIFO_DEPTH,
+        )
 
     # -- runtime table loading (the URAM trick) -----------------------------------
 
@@ -189,6 +209,13 @@ class PigasusStringMatcher(Accelerator):
         if value == 1:  # start
             payload = self._payload[: self._dma_len] if self._dma_len else self._payload
             sids = self.scan(payload, "tcp", self._src_port, self._dst_port)
+            # the hardware FIFO holds MATCH_FIFO_DEPTH words including
+            # the EoP marker; matches past the cap are dropped (the rule
+            # id still reaches the host via the punted packet itself)
+            room = MATCH_FIFO_DEPTH - 1 - len(self._match_fifo)
+            if len(sids) > room:
+                self.matches_overflowed += len(sids) - room
+                sids = sids[:room]
             for sid in sids:
                 self._match_fifo.append(sid)
             self._match_fifo.append(0)  # EoP marker

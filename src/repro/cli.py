@@ -735,6 +735,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     """Static firmware verification: CFG/WCET budget + MMIO + replay lint.
 
+    ``--deep`` additionally prints what the abstract interpreter proved:
+    the memory-safety verdict of every load/store site with its abstract
+    address, the inferred loop bounds with their provenance
+    (inferred / annotation / default), and the worst-case stack depth.
+
     Exit status: 0 = every verified firmware PASSes, 1 = at least one
     FAILs (or has error-level diagnostics), 2 = unknown firmware name.
     """
@@ -779,6 +784,35 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 print(f"  handler {handler}: {cycles:.0f} cycles (incl. trap entry)")
             if r.lint is not None:
                 print(f"  replay lint: {r.lint.cls_name} is {r.lint.classification}")
+            if r.safety is not None:
+                s = r.safety
+                print(
+                    f"  memory safety: {'PASS' if s.passed else 'FAIL'} — "
+                    f"{s.proven} proven / {s.unproven} unproven / "
+                    f"{s.violations} violation(s); stack "
+                    f"{s.stack_depth_bytes}/{s.stack_limit_bytes} B"
+                )
+            if args.deep:
+                bounds = r.wcet.loop_bounds or {}
+                prov = r.wcet.bound_provenance or {}
+                for label in sorted(bounds):
+                    print(
+                        f"  loop {label}: bound {bounds[label]} "
+                        f"({prov.get(label, 'default')})"
+                    )
+                if r.safety is not None:
+                    for c in r.safety.checks:
+                        extra = ""
+                        if c.within_pkt_len is not None:
+                            extra = (
+                                "  [within pkt_len]" if c.within_pkt_len
+                                else "  [may exceed pkt_len]"
+                            )
+                        print(
+                            f"    {c.pc:#06x} {c.kind:<5} {c.nbytes}B "
+                            f"{c.addr_desc:<28} {c.verdict:<9} "
+                            f"{c.region or '-':<12} {c.detail}{extra}"
+                        )
             for d in r.all_diagnostics():
                 print(f"  {d.format()}")
             rows.append([
@@ -988,6 +1022,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="emit the repro-verify/1 JSON report to PATH ('-' for "
                         "stdout) instead of the table")
+    p.add_argument("--deep", action="store_true",
+                   help="print the abstract-interpretation detail: per-access "
+                        "memory-safety verdicts with provenance, inferred "
+                        "loop bounds, worst-case stack depth")
     # point flags fall back to each firmware's registry-documented
     # operating point, not the generic experiment defaults
     p.set_defaults(func=cmd_verify, rpus=None, size=None, gbps=None)

@@ -338,7 +338,7 @@ class ProcessShard:
                 f"{self._describe()} is gone: its pipe is closed "
                 f"(worker exit code {self._proc.exitcode})"
             ) from None
-        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout  # detlint: ok(worker-liveness watchdog)
         while True:
             if self._conn.poll(0.05):
                 try:
@@ -359,7 +359,7 @@ class ProcessShard:
                     f"(worker exit code {self._proc.exitcode}); the horizon "
                     "barrier was released, not hung"
                 )
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and time.monotonic() > deadline:  # detlint: ok(worker-liveness watchdog)
                 self.close()
                 raise ClusterShardError(
                     f"{self._describe()} exceeded {self.timeout}s answering "

@@ -65,6 +65,14 @@ class RosebudConfig:
     dmem_bytes: int = 32 * 1024
     accel_mem_bytes: int = 128 * 1024
     header_slot_bytes: int = 128
+    #: per-RPU stack allocation at the top of dmem; the static verifier
+    #: bounds worst-case stack depth against this
+    stack_bytes: int = 4096
+
+    # Ethernet frame envelope the verifier may assume for packet-DMA
+    # accesses (64 B minimum frame less the 4 B FCS, 1522 B 802.1Q max)
+    min_frame_bytes: int = 60
+    max_frame_bytes: int = 1522
 
     # MAC FIFOs (calibrated: +32.8 us at saturated 64 B, §6.2)
     mac_rx_fifo_packets: int = 4100
@@ -97,6 +105,12 @@ class RosebudConfig:
             raise ConfigError("slots exceed packet memory (even with header region)")
         if self.cluster_bus_bits % 8 or self.rpu_bus_bits % 8:
             raise ConfigError("bus widths must be byte multiples")
+        if not 0 < self.min_frame_bytes <= self.max_frame_bytes:
+            raise ConfigError("need 0 < min_frame_bytes <= max_frame_bytes")
+        if self.max_frame_bytes + 2 > self.slot_bytes:
+            raise ConfigError("max frame (plus DMA offset) exceeds a packet slot")
+        if not 0 < self.stack_bytes <= self.dmem_bytes:
+            raise ConfigError("stack allocation must fit in dmem")
 
     @property
     def n_clusters(self) -> int:

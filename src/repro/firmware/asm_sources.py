@@ -98,9 +98,13 @@ main:
     csrw mtvec, t0
     li   t0, 0x10000       # enable external line 1 (poke)
     csrw mie, t0
-    csrrsi x0, mstatus, 8  # global interrupt enable
+    # the handler reads a0/s4, so they must be live before interrupts
+    # are enabled globally — an early poke would otherwise store its
+    # checkpoint through whatever a0 happened to hold (the static
+    # verifier's handler-entry join catches exactly this ordering bug)
     li   a0, IO_BASE
     li   s4, 0             # packets forwarded (visible to the handler)
+    csrrsi x0, mstatus, 8  # global interrupt enable
 loop:
     lw   t0, 0(a0)         # RECV_READY
     beqz t0, loop
@@ -230,7 +234,7 @@ loop:
     li   t6, 1
     sb   t6, 0(a1)         # ACC_PIG_CTRL = 1 (start)
     li   s3, 0             # match flag
-drain:                     # loop-bound 8
+drain:                     # bounded by the matcher's 8-deep FIFO
     lw   t5, 28(a1)        # ACC_PIG_RULE_ID
     li   t6, 2
     sb   t6, 0(a1)         # release the word

@@ -18,7 +18,7 @@ closure and ends the block there.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from .isa import DecodeError, Instruction, decode
 
@@ -45,6 +45,34 @@ BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
 def is_block_terminal(mnemonic: str) -> bool:
     """True when ``mnemonic`` must end a superblock / basic block."""
     return mnemonic in TERMINAL_MNEMONICS or mnemonic.startswith("csr")
+
+
+def static_successors(inst: Instruction, pc: int) -> Tuple[int, ...]:
+    """Static successor pcs of a *terminal* instruction at ``pc``.
+
+    The single source of truth for CFG edges: the verify-side builders
+    (:mod:`repro.verify.cfg`) and the abstract interpreter both walk
+    edges from here, so a graph they analyze can never disagree with
+    the control transfers the simulator performs.  ``jalr``/``mret``
+    return no successors (indirect / context restore); ``ebreak`` halts.
+    """
+    m = inst.mnemonic
+    next_pc = (pc + 4) & _MASK32
+    if m in BRANCH_MNEMONICS:
+        target = (pc + inst.imm) & _MASK32
+        return (target, next_pc) if target != next_pc else (next_pc,)
+    if m == "jal":
+        return ((pc + inst.imm) & _MASK32,)
+    if m == "jalr":
+        return ()  # indirect: target unknown statically
+    if m == "mret":
+        return ()  # returns to the interrupted context
+    if m == "ebreak":
+        return ()  # halts the core
+    if m == "ecall":
+        return (next_pc,)  # handler runs, execution continues
+    # wfi and csr* fall through after their effect
+    return (next_pc,)
 
 
 #: A decoder callback: pc -> decoded instruction, or None when the word

@@ -9,7 +9,7 @@ timer/interrupt machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 
 class DecodeError(ValueError):
@@ -44,6 +44,64 @@ _COST_CLASS = {
     "csrrw": CC_CSR, "csrrs": CC_CSR, "csrrc": CC_CSR,
     "csrrwi": CC_CSR, "csrrsi": CC_CSR, "csrrci": CC_CSR,
 }
+
+
+# Transfer-function metadata, shared by every analyzer that abstracts
+# instruction semantics (constant propagation in repro.verify.cfg and
+# the interval/region abstract interpreter in repro.verify.absint).
+# Keeping the tables here — next to the decoder — means a new mnemonic
+# cannot be added without its analysis shape being decided in the same
+# review.
+
+#: Access width per memory mnemonic.
+LOAD_BYTES: Dict[str, int] = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+STORE_BYTES: Dict[str, int] = {"sb": 1, "sh": 2, "sw": 4}
+
+#: Loads whose result is sign-extended to 32 bits.
+SIGNED_LOADS = frozenset({"lb", "lh"})
+
+#: Conditional branch -> (relation on (rs1, rs2), signed compare).
+#: Relations are over rs1 relative to rs2: e.g. ``blt`` takes when
+#: ``rs1 < rs2``.
+BRANCH_RELATIONS: Dict[str, Tuple[str, bool]] = {
+    "beq": ("eq", False),
+    "bne": ("ne", False),
+    "blt": ("lt", True),
+    "bge": ("ge", True),
+    "bltu": ("lt", False),
+    "bgeu": ("ge", False),
+}
+
+#: Negation of a branch relation (the not-taken edge's constraint).
+NEGATED_RELATION: Dict[str, str] = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt"}
+
+#: Mnemonics that never write a destination register (everything else
+#: with ``rd != 0`` clobbers or defines ``rd``).
+NO_RD_MNEMONICS = frozenset(
+    {"sb", "sh", "sw", "beq", "bne", "blt", "bge", "bltu", "bgeu",
+     "fence", "wfi", "mret", "ecall", "ebreak"}
+)
+
+
+def writes_rd(mnemonic: str, rd: int) -> bool:
+    """True when the instruction defines ``rd`` (x0 writes are no-ops).
+
+    ``csrrs``/``csrrc`` with ``rs1 == x0`` are pure CSR reads but still
+    write ``rd``, so they count; use :func:`writes_csr` for the CSR
+    side.
+    """
+    return rd != 0 and mnemonic not in NO_RD_MNEMONICS
+
+
+def writes_csr(inst: "Instruction") -> bool:
+    """True when a ``csr*`` instruction modifies its CSR (the set/clear
+    forms with a zero mask are architecturally reads)."""
+    m = inst.mnemonic
+    if m in ("csrrw", "csrrwi"):
+        return True
+    if m in ("csrrs", "csrrc", "csrrsi", "csrrci"):
+        return inst.rs1 != 0  # register index, or the uimm for *i forms
+    return False
 
 
 @dataclass(frozen=True)

@@ -406,7 +406,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
-        t0 = _time.perf_counter()
+        t0 = _time.perf_counter()  # detlint: ok(profiling wall-clock dispatch rate, not simulated time)
         try:
             while not self._stopped:
                 next_time = self.peek()
@@ -427,7 +427,7 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
-        wall = _time.perf_counter() - t0
+        wall = _time.perf_counter() - t0  # detlint: ok(profiling wall-clock dispatch rate, not simulated time)
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         fired = self.events_processed - fired_before

@@ -1,21 +1,42 @@
-"""Firmware static analysis: CFG + WCET budget verifier, replay linter.
+"""Firmware static analysis: abstract interpretation, WCET, linters.
 
 The subsystem answers, *before* any simulation runs:
 
 * does this firmware's worst-case cycles/packet fit the line-rate
   budget at a given (clock, RPUs, packet size, Gbps) operating point?
+* is every load/store provably inside a declared memory region, and
+  does the worst-case stack depth fit the per-RPU stack allocation?
+  (:mod:`repro.verify.absint` + :mod:`repro.verify.memsafe`)
+* what bounds its loops?  Induction-variable and accelerator-stream
+  analysis infer them; ``# loop-bound`` annotations are cross-checks
+  (:mod:`repro.verify.loopbound`).
 * does its MMIO footprint match the interconnect map and the configured
   accelerator's register set?
 * does it store into its own text segment (self-modifying code)?
 * is its behavioural twin safe to memoize in the replay cache?
+* does the simulator source itself stay deterministic?
+  (:mod:`repro.verify.detlint`, wired into ``make lint``)
 
 Entry points: :func:`verify_firmware` / :func:`verify_all` (the
 ``repro verify`` CLI and CI gate), :func:`preflight_spec` (the engine
 hook behind ``ExperimentSpec.verify``), and the lower-level
-:func:`build_cfg` / :func:`analyze_wcet` / :func:`lint_firmware_class`
-passes.  See ``docs/STATIC_ANALYSIS.md``.
+:func:`build_cfg` / :func:`deep_analyze` / :func:`analyze_wcet` /
+:func:`check_memory_safety` / :func:`lint_firmware_class` passes.
+See ``docs/STATIC_ANALYSIS.md``.
 """
 
+from .absint import (
+    IO_REGISTER_SPECS,
+    AbsAccess,
+    AbsintResult,
+    AbsState,
+    AbsVal,
+    IoRegister,
+    MachineEnv,
+    Region,
+    analyze_cfg,
+    deep_analyze,
+)
 from .budget import BudgetVerdict, budget_verdict
 from .cfg import (
     BasicBlock,
@@ -27,6 +48,15 @@ from .cfg import (
     build_cfg,
     region_of,
 )
+from .detlint import Finding, lint_paths, lint_source
+from .loopbound import (
+    LoopBound,
+    LoopBoundReport,
+    induction_clamps,
+    infer_loop_bounds,
+    local_dominators,
+)
+from .memsafe import AccessCheck, MemSafetyReport, check_memory_safety
 from .preflight import (
     FIRMWARE_ASM_TWINS,
     PreflightReport,
@@ -66,6 +96,11 @@ from .wcet import (
 )
 
 __all__ = [
+    "AbsAccess",
+    "AbsState",
+    "AbsVal",
+    "AbsintResult",
+    "AccessCheck",
     "BasicBlock",
     "BudgetVerdict",
     "BundledFirmware",
@@ -76,30 +111,46 @@ __all__ = [
     "DEFAULT_LOOP_BOUND",
     "Diagnostic",
     "FIRMWARE_ASM_TWINS",
+    "Finding",
     "FirmwareCfg",
     "FluidGate",
     "FirmwareVerifyReport",
     "INTERCONNECT_REGISTERS",
+    "IO_REGISTER_SPECS",
+    "IoRegister",
     "IrreducibleCfgError",
     "LintFinding",
     "Loop",
+    "LoopBound",
+    "LoopBoundReport",
+    "MachineEnv",
     "MemAccess",
+    "MemSafetyReport",
     "OperatingPoint",
     "PreflightReport",
+    "Region",
     "ReplayLintReport",
     "TRAP_ENTRY_CYCLES",
     "VerificationError",
     "WcetReport",
+    "analyze_cfg",
     "analyze_source",
     "analyze_wcet",
     "budget_verdict",
+    "check_memory_safety",
+    "deep_analyze",
     "fluid_gate",
     "build_cfg",
     "bundled_firmware_classes",
     "bundled_firmware_names",
     "bundled_firmwares",
+    "induction_clamps",
+    "infer_loop_bounds",
     "lint_all_models",
     "lint_firmware_class",
+    "lint_paths",
+    "lint_source",
+    "local_dominators",
     "parse_loop_bounds",
     "preflight_spec",
     "region_of",

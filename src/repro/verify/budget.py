@@ -11,6 +11,7 @@ sweep bounds can never disagree.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..analysis.throughput import cycle_budget_per_packet, rpu_cycle_budget_pps
 from ..sim.clock import ROSEBUD_CLOCK, line_rate_pps
@@ -32,6 +33,11 @@ class BudgetVerdict:
     n_rpus: int
     clock_hz: float
     binding: str  # "software" or "accelerator"
+    #: memory-safety verdict from the abstract interpreter: True when
+    #: every access proved safe, False on a violation / stack overflow,
+    #: None when the safety analysis did not run. ``passed`` stays a
+    #: pure budget verdict; the report layer combines the two.
+    memory_safe: Optional[bool] = None
 
     @property
     def verdict(self) -> str:
@@ -66,6 +72,7 @@ class BudgetVerdict:
             "n_rpus": self.n_rpus,
             "clock_hz": self.clock_hz,
             "binding": self.binding,
+            "memory_safe": self.memory_safe,
         }
 
 
@@ -77,6 +84,7 @@ def budget_verdict(
     target_gbps: float,
     accel_cycles: float = 0.0,
     clock_hz: float = ROSEBUD_CLOCK.freq_hz,
+    memory_safe: Optional[bool] = None,
 ) -> BudgetVerdict:
     """Convert a WCET bound into a line-rate PASS/FAIL.
 
@@ -104,4 +112,5 @@ def budget_verdict(
         n_rpus=n_rpus,
         clock_hz=clock_hz,
         binding="accelerator" if accel_cycles > wcet_cycles else "software",
+        memory_safe=memory_safe,
     )

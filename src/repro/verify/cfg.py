@@ -26,6 +26,7 @@ region.  That classification powers the structural checks:
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -36,7 +37,10 @@ from ..riscv.blocks import (
     MAX_BLOCK,
     image_decoder,
     is_block_terminal,
+    static_successors,
 )
+from ..riscv.isa import LOAD_BYTES as _LOAD_BYTES
+from ..riscv.isa import STORE_BYTES as _STORE_BYTES
 from ..riscv.isa import Instruction
 
 _MASK32 = 0xFFFFFFFF
@@ -214,26 +218,9 @@ class FirmwareCfg:
 
 # -- successor rules ----------------------------------------------------------
 
-
-def _successor_pcs(inst: Instruction, pc: int) -> Tuple[int, ...]:
-    """Static successors of a *terminal* instruction at ``pc``."""
-    m = inst.mnemonic
-    next_pc = (pc + 4) & _MASK32
-    if m in BRANCH_MNEMONICS:
-        target = (pc + inst.imm) & _MASK32
-        return (target, next_pc) if target != next_pc else (next_pc,)
-    if m == "jal":
-        return ((pc + inst.imm) & _MASK32,)
-    if m == "jalr":
-        return ()  # indirect: target unknown statically
-    if m == "mret":
-        return ()  # returns to the interrupted context
-    if m == "ebreak":
-        return ()  # halts the core
-    if m == "ecall":
-        return (next_pc,)  # handler runs, execution continues
-    # wfi and csr* fall through after their effect
-    return (next_pc,)
+# Edge rules live in repro.riscv.blocks next to the block-boundary
+# rules; this alias keeps the historical local name for in-module use.
+_successor_pcs = static_successors
 
 
 # -- builder ------------------------------------------------------------------
@@ -354,8 +341,52 @@ def build_cfg(
 
 
 def analyze_source(source: str, name: str = "", base: int = 0) -> FirmwareCfg:
-    """Assemble ``source`` (at the RPU's imem base) and build its CFG."""
-    return build_cfg(assemble(source, base=base), name=name)
+    """Assemble ``source`` (at the RPU's imem base) and build its CFG.
+
+    ``# loop-bound N`` annotations in the source are attached to their
+    loops (``Loop.bound`` / ``Loop.annotated``) so downstream passes
+    can cross-check them against inferred bounds."""
+    cfg = build_cfg(assemble(source, base=base), name=name)
+    for label, bound in parse_loop_bounds(source).items():
+        header = cfg.program.symbols.get(label)
+        if header is not None and header in cfg.loops:
+            cfg.loops[header].bound = bound
+            cfg.loops[header].annotated = True
+    return cfg
+
+
+# -- loop-bound annotations ---------------------------------------------------
+
+_BOUND_RE = re.compile(r"#\s*loop-bound\s+(\d+)")
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:")
+
+
+def parse_loop_bounds(source: str) -> Dict[str, int]:
+    """``{label: bound}`` from ``# loop-bound N`` annotations.
+
+    An annotation applies to the loop whose header label it shares a
+    line with, or — when written on its own line — to the next label::
+
+        drain:                  # loop-bound 8
+        # loop-bound 8
+        drain:
+    """
+    bounds: Dict[str, int] = {}
+    pending: Optional[int] = None
+    for line in source.splitlines():
+        bound = _BOUND_RE.search(line)
+        label = _LABEL_RE.match(line)
+        if label and bound:
+            bounds[label.group(1)] = int(bound.group(1))
+            pending = None
+        elif label and pending is not None:
+            bounds[label.group(1)] = pending
+            pending = None
+        elif bound:
+            pending = int(bound.group(1))
+        elif line.strip():
+            pending = None
+    return bounds
 
 
 # -- loops --------------------------------------------------------------------
@@ -452,8 +483,8 @@ def _report_unreachable(cfg: FirmwareCfg, decode_at) -> None:
 
 RegState = List[Optional[int]]
 
-_LOAD_BYTES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
-_STORE_BYTES = {"sb": 1, "sh": 2, "sw": 4}
+# Load/store widths come from repro.riscv.isa (imported above) so the
+# dataflow, the abstract interpreter, and the decoder agree on them.
 
 _ALU_IMM: Dict[str, Callable[[int, int], int]] = {
     "addi": lambda a, i: (a + i) & _MASK32,

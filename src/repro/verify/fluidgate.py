@@ -99,8 +99,13 @@ def fluid_gate(spec) -> FluidGate:
         gate.block(f"{cls_name} has no assembly twin, so no static WCET bound")
     else:
         gate.asm_twin = twin
-        wcet, accel = _twin_wcet(twin)
+        wcet, accel, safety = _twin_wcet(twin)
         gate.wcet_cycles = wcet.wcet_cycles
+        if not safety.passed:
+            gate.block(
+                f"{twin} fails memory-safety verification; a firmware "
+                "with unsound accesses has no trustworthy steady state"
+            )
         from ..analysis.throughput import fluid_reference_pps
         from .registry import _accel_worst_cycles
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .budget import BudgetVerdict, budget_verdict
 from .cfg import Diagnostic
+from .memsafe import MemSafetyReport, check_memory_safety
 from .registry import bundled_firmwares
 from .replaylint import CLASS_UNSAFE, ReplayLintReport, lint_firmware_class
 from .wcet import WcetReport, analyze_wcet
@@ -43,10 +44,10 @@ FIRMWARE_ASM_TWINS: Dict[str, str] = {
     "PigasusSwReorderFirmware": "pigasus",
 }
 
-#: (asm name) -> (WcetReport, accel worst cycles fn input) cache; the
-#: CFG+WCET pass is pure so sweeps re-verify each point with arithmetic
-#: only.
-_WCET_CACHE: Dict[str, Tuple[WcetReport, Optional[object]]] = {}
+#: (asm name) -> (WcetReport, accel, MemSafetyReport) cache; the deep
+#: CFG + abstract-interpretation + WCET pass is pure, so sweeps
+#: re-verify each point with arithmetic only.
+_WCET_CACHE: Dict[str, Tuple[WcetReport, Optional[object], MemSafetyReport]] = {}
 
 
 @dataclass
@@ -55,6 +56,7 @@ class PreflightReport:
     firmware_cls: str
     asm_twin: Optional[str] = None
     verdict: Optional[BudgetVerdict] = None
+    safety: Optional[MemSafetyReport] = None
     lint: Optional[ReplayLintReport] = None
     diagnostics: List[Diagnostic] = field(default_factory=list)
     lint_required: bool = False  # spec asked for the replay cache
@@ -62,6 +64,8 @@ class PreflightReport:
     @property
     def failed(self) -> bool:
         if self.verdict is not None and not self.verdict.passed:
+            return True
+        if self.verdict is not None and self.verdict.memory_safe is False:
             return True
         if (
             self.lint_required
@@ -80,6 +84,12 @@ class PreflightReport:
                 f"{self.firmware_cls}: no assembly twin registered; "
                 "budget not statically checked"
             )
+        if self.verdict is not None and self.verdict.memory_safe is False:
+            parts.append(
+                f"{self.asm_twin}: memory safety NOT proven "
+                f"({len(self.safety.violations) if self.safety else '?'} "
+                "violation(s))"
+            )
         if self.lint is not None:
             parts.append(
                 f"replay lint: {self.lint.cls_name} is "
@@ -94,25 +104,32 @@ class PreflightReport:
             "asm_twin": self.asm_twin,
             "failed": self.failed,
             "verdict": self.verdict.to_dict() if self.verdict else None,
+            "safety": self.safety.to_dict() if self.safety else None,
             "lint": self.lint.to_dict() if self.lint else None,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
 
 def _twin_wcet(asm_name: str):
-    """WCET report + accelerator instance for a registry firmware,
-    cached (the analysis is deterministic and spec-independent)."""
+    """Deep-verify a registry firmware once and cache the
+    (WCET, accelerator, memory-safety) triple — the abstract
+    interpretation is deterministic and spec-independent."""
     cached = _WCET_CACHE.get(asm_name)
     if cached is not None:
         return cached
+    from .absint import MachineEnv, deep_analyze
     from .cfg import analyze_source
+    from .registry import _annotations_by_pc
 
     fw = next(f for f in bundled_firmwares() if f.name == asm_name)
-    cfg = analyze_source(fw.asm, name=asm_name)
-    wcet = analyze_wcet(cfg, source=fw.asm)
     accel = fw.accel_factory() if fw.accel_factory else None
-    _WCET_CACHE[asm_name] = (wcet, accel)
-    return wcet, accel
+    cfg = analyze_source(fw.asm, name=asm_name)
+    env = MachineEnv(accel=accel)
+    absres = deep_analyze(cfg, env, annotations=_annotations_by_pc(cfg, fw.asm))
+    wcet = analyze_wcet(cfg, source=fw.asm, absres=absres)
+    safety = check_memory_safety(cfg, absres, env)
+    _WCET_CACHE[asm_name] = (wcet, accel, safety)
+    return wcet, accel, safety
 
 
 def preflight_spec(spec) -> PreflightReport:
@@ -131,7 +148,8 @@ def preflight_spec(spec) -> PreflightReport:
     twin = FIRMWARE_ASM_TWINS.get(cls_name)
     if twin is not None:
         report.asm_twin = twin
-        wcet, accel = _twin_wcet(twin)
+        wcet, accel, safety = _twin_wcet(twin)
+        report.safety = safety
         report.verdict = budget_verdict(
             firmware=f"{cls_name} (asm twin: {twin})",
             wcet_cycles=wcet.wcet_cycles,
@@ -140,6 +158,7 @@ def preflight_spec(spec) -> PreflightReport:
             packet_size=spec.traffic.packet_size,
             target_gbps=spec.traffic.offered_gbps,
             clock_hz=spec.config.clock.freq_hz,
+            memory_safe=safety.passed,
         )
     else:
         report.diagnostics.append(

@@ -16,27 +16,18 @@ from typing import Callable, List, Optional
 
 from ..riscv.cpu import CycleModel
 from ..sim.clock import ROSEBUD_CLOCK
+from .absint import IO_REGISTER_SPECS, MachineEnv, deep_analyze
 from .budget import BudgetVerdict, budget_verdict
 from .cfg import Diagnostic, FirmwareCfg, analyze_source
+from .memsafe import MemSafetyReport, check_memory_safety
 from .replaylint import ReplayLintReport, lint_firmware_class
 from .wcet import WcetReport, analyze_wcet
 
-#: Offsets of the interconnect window registers (the map documented in
-#: ``repro/firmware/asm_sources.py``); anything else is a typo'd MMIO.
-INTERCONNECT_REGISTERS = {
-    0x00: "RECV_READY",
-    0x04: "RECV_TAG",
-    0x08: "RECV_LEN",
-    0x0C: "RECV_PORT",
-    0x10: "RECV_DATA",
-    0x14: "RECV_RELEASE",
-    0x18: "SEND_TAG",
-    0x1C: "SEND_LEN",
-    0x20: "SEND_PORT_GO",
-    0x28: "DEBUG_OUT_L",
-    0x2C: "DEBUG_OUT_H",
-    0x30: "CYCLES",
-}
+#: Offsets of the interconnect window registers, derived from the
+#: abstract interpreter's register specs so the footprint check and the
+#: value-range semantics can never disagree on the map (which is also
+#: the one documented in ``repro/firmware/asm_sources.py``).
+INTERCONNECT_REGISTERS = {spec.offset: spec.name for spec in IO_REGISTER_SPECS}
 
 
 @dataclass(frozen=True)
@@ -113,7 +104,8 @@ def bundled_firmwares() -> List[BundledFirmware]:
             "pigasus", PIGASUS_ASM, OperatingPoint(8, 1500, 50.0),
             accel_factory=_pigasus_matcher,
             behavioural="PigasusHwReorderFirmware",
-            note="IPS orchestration; drain loop bounded by annotation",
+            note="IPS orchestration; drain loop bound inferred from the "
+            "matcher's declared FIFO depth",
         ),
     ]
 
@@ -131,17 +123,21 @@ class FirmwareVerifyReport:
     cfg: FirmwareCfg
     wcet: WcetReport
     verdict: BudgetVerdict
+    safety: Optional[MemSafetyReport] = None
     lint: Optional[ReplayLintReport] = None
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return self.verdict.passed and not any(
-            d.level == "error" for d in self.diagnostics
+            d.level == "error" for d in self.all_diagnostics()
         )
 
     def all_diagnostics(self) -> List[Diagnostic]:
-        return self.cfg.diagnostics + self.wcet.diagnostics + self.diagnostics
+        out = self.cfg.diagnostics + self.wcet.diagnostics + self.diagnostics
+        if self.safety is not None:
+            out = out + self.safety.diagnostics
+        return out
 
     def to_dict(self) -> dict:
         return {
@@ -154,6 +150,7 @@ class FirmwareVerifyReport:
             "passed": self.passed,
             "verdict": self.verdict.to_dict(),
             "wcet": self.wcet.to_dict(),
+            "safety": self.safety.to_dict() if self.safety else None,
             "mmio": self.cfg.to_dict()["mmio"],
             "max_stack_bytes": self.cfg.max_stack_bytes,
             "lint": self.lint.to_dict() if self.lint else None,
@@ -288,10 +285,17 @@ def verify_firmware(
         gbps if gbps is not None else fw.point.gbps,
     )
 
-    cfg = analyze_source(fw.asm, name=name)
-    wcet = analyze_wcet(cfg, cycle_model=cycle_model, source=fw.asm)
-
     accel = fw.accel_factory() if fw.accel_factory else None
+    cfg = analyze_source(fw.asm, name=name)
+
+    # the deep pipeline runs once: value-range fixpoint, loop-bound
+    # inference (annotations demoted to cross-checks), memory safety —
+    # then the WCET analysis consumes its bounds and infeasible edges
+    env = MachineEnv(accel=accel)
+    absres = deep_analyze(cfg, env, annotations=_annotations_by_pc(cfg, fw.asm))
+    wcet = analyze_wcet(cfg, cycle_model=cycle_model, source=fw.asm, absres=absres)
+    safety = check_memory_safety(cfg, absres, env)
+
     diags: List[Diagnostic] = []
     _check_mmio(cfg, accel, name, diags)
     _check_floorplan(point.n_rpus, name, diags)
@@ -304,6 +308,7 @@ def verify_firmware(
         packet_size=point.packet_size,
         target_gbps=point.gbps,
         clock_hz=clock_hz,
+        memory_safe=safety.passed,
     )
 
     lint = None
@@ -316,8 +321,19 @@ def verify_firmware(
 
     return FirmwareVerifyReport(
         name=name, point=point, cfg=cfg, wcet=wcet, verdict=verdict,
-        lint=lint, diagnostics=diags,
+        safety=safety, lint=lint, diagnostics=diags,
     )
+
+
+def _annotations_by_pc(cfg: FirmwareCfg, source: str) -> dict:
+    """``# loop-bound`` annotations keyed by header pc (cross-checks)."""
+    from .wcet import parse_loop_bounds
+
+    return {
+        cfg.program.symbols[label]: value
+        for label, value in parse_loop_bounds(source).items()
+        if label in cfg.program.symbols
+    }
 
 
 def verify_all(

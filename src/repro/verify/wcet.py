@@ -26,13 +26,28 @@ rather than a proof.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..riscv.blocks import BRANCH_MNEMONICS
 from ..riscv.cpu import CycleModel
-from .cfg import BasicBlock, Diagnostic, FirmwareCfg, Loop
+from .cfg import (
+    BasicBlock,
+    Diagnostic,
+    FirmwareCfg,
+    Loop,
+    parse_loop_bounds,
+)
+
+__all__ = [
+    "DEFAULT_LOOP_BOUND",
+    "TRAP_ENTRY_CYCLES",
+    "CriticalStep",
+    "WcetReport",
+    "IrreducibleCfgError",
+    "analyze_wcet",
+    "parse_loop_bounds",
+]
 
 _MASK32 = 0xFFFFFFFF
 
@@ -44,40 +59,6 @@ DEFAULT_LOOP_BOUND = 64
 #: Cycles ``RiscvCpu._take_interrupt`` charges before the first handler
 #: instruction retires (trap entry latency).
 TRAP_ENTRY_CYCLES = 3
-
-
-# -- loop-bound annotations ---------------------------------------------------
-
-_BOUND_RE = re.compile(r"#\s*loop-bound\s+(\d+)")
-_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:")
-
-
-def parse_loop_bounds(source: str) -> Dict[str, int]:
-    """``{label: bound}`` from ``# loop-bound N`` annotations.
-
-    An annotation applies to the loop whose header label it shares a
-    line with, or — when written on its own line — to the next label::
-
-        drain:                  # loop-bound 8
-        # loop-bound 8
-        drain:
-    """
-    bounds: Dict[str, int] = {}
-    pending: Optional[int] = None
-    for line in source.splitlines():
-        bound = _BOUND_RE.search(line)
-        label = _LABEL_RE.match(line)
-        if label and bound:
-            bounds[label.group(1)] = int(bound.group(1))
-            pending = None
-        elif label and pending is not None:
-            bounds[label.group(1)] = pending
-            pending = None
-        elif bound:
-            pending = int(bound.group(1))
-        elif line.strip():
-            pending = None
-    return bounds
 
 
 # -- report structures --------------------------------------------------------
@@ -103,6 +84,9 @@ class WcetReport:
     critical_path: List[CriticalStep] = field(default_factory=list)
     handlers: Dict[str, float] = field(default_factory=dict)
     loop_bounds: Dict[str, int] = field(default_factory=dict)
+    #: where each used bound came from: "inferred" (induction/stream
+    #: analysis), "annotation" (trusted ``# loop-bound``), or "default"
+    bound_provenance: Dict[str, str] = field(default_factory=dict)
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def chain(self) -> str:
@@ -116,6 +100,7 @@ class WcetReport:
             "critical_path": [s.to_dict() for s in self.critical_path],
             "handlers": self.handlers,
             "loop_bounds": self.loop_bounds,
+            "bound_provenance": self.bound_provenance,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
@@ -134,18 +119,36 @@ class _Wcet:
         cfg: FirmwareCfg,
         cycle_model: CycleModel,
         bounds_by_label: Dict[str, int],
+        pc_bounds: Optional[Dict[int, int]] = None,
+        pc_provenance: Optional[Dict[int, str]] = None,
+        infeasible: Optional[Set[Tuple[int, int]]] = None,
     ) -> None:
         self.cfg = cfg
         self.costs = cycle_model.cost_table()
         self.taken = cycle_model.branch_taken_cost
         self.diags: List[Diagnostic] = []
         self.used_bounds: Dict[str, int] = {}
+        self.used_provenance: Dict[str, str] = {}
         #: loop header pc -> iteration bound
         self.bounds: Dict[int, int] = {}
+        #: loop header pc -> bound provenance label
+        self.provenance: Dict[int, str] = {}
         for header in cfg.loops:
             label = cfg.label_at(header)
             if label is not None and label in bounds_by_label:
                 self.bounds[header] = bounds_by_label[label]
+                self.provenance[header] = "annotation"
+        if pc_bounds:
+            self.bounds.update(pc_bounds)
+            for header in pc_bounds:
+                self.provenance[header] = "inferred"
+        if pc_provenance:
+            self.provenance.update(pc_provenance)
+        #: CFG edges the abstract interpreter proved can never be taken;
+        #: the longest-path search skips them (loop back edges are never
+        #: in this set — the final-sweep refinement runs on loop-exit
+        #: tests with the fixpoint state, which keeps the continue edge)
+        self.infeasible: Set[Tuple[int, int]] = set(infeasible or ())
 
     # node/edge costs ------------------------------------------------------
 
@@ -180,18 +183,20 @@ class _Wcet:
         label = self.cfg.label_at(header) or f"0x{header:x}"
         if bound is None:
             bound = DEFAULT_LOOP_BOUND
+            self.provenance[header] = "default"
             self.diags.append(
                 Diagnostic(
                     "warning",
                     "unannotated-loop",
                     f"inner loop at {self.cfg.describe(header)} has no "
-                    f"'# loop-bound N' annotation; assuming {bound} "
-                    "iterations per packet",
+                    "inferred or annotated bound; assuming "
+                    f"{bound} iterations per packet",
                     pc=header,
                     firmware=self.cfg.name,
                 )
             )
         self.used_bounds[label] = bound
+        self.used_provenance[label] = self.provenance.get(header, "annotation")
         return bound
 
     # loop collapse --------------------------------------------------------
@@ -242,6 +247,8 @@ class _Wcet:
                     continue  # loop exit: charged by the caller
                 if succ == loop.header and node in back_sources:
                     continue  # the back edge closes the iteration
+                if (node, succ) in self.infeasible:
+                    continue  # proven never-taken: prune the path
                 ru, rv = rep(node), rep(succ)
                 if ru == rv:
                     continue  # internal to one collapsed child
@@ -335,6 +342,8 @@ class _Wcet:
                     continue
                 if lp is not None and succ in lp.body:
                     continue  # internal to a collapsed loop
+                if (node, succ) in self.infeasible:
+                    continue  # proven never-taken: prune the path
                 edges[rep(node)].append((rep(succ), self.edge_cost(block, succ)))
 
         best = 0.0
@@ -348,9 +357,16 @@ class _Wcet:
             if cycles < 0:
                 continue
             cycles += sink_extra.get(sink, 0.0)
-            if cycles > best:
+            if cycles > best or not best_path:
                 best = cycles
                 best_path = path
+        if not best_path and rnodes and self.infeasible:
+            # pruning disconnected every sink: retry without it (the
+            # caller reruns with an empty infeasible set — looser but
+            # still sound)
+            raise IrreducibleCfgError(
+                "infeasible-edge pruning disconnected the region"
+            )
         return best, best_path
 
 
@@ -411,16 +427,89 @@ def analyze_wcet(
     cfg: FirmwareCfg,
     cycle_model: Optional[CycleModel] = None,
     source: Optional[str] = None,
+    *,
+    accel=None,
+    config=None,
+    bounds: Optional[Dict[int, int]] = None,
+    infeasible: Optional[Set[Tuple[int, int]]] = None,
+    infer: bool = True,
+    absres=None,
 ) -> WcetReport:
     """Worst-case cycles-per-packet bound for ``cfg``.
 
-    ``source`` (the assembly text) supplies ``# loop-bound N``
-    annotations; without it every inner loop falls back to
-    :data:`DEFAULT_LOOP_BOUND`.
+    Loop bounds are **inferred** by default: the abstract-interpretation
+    pipeline (:func:`repro.verify.absint.deep_analyze` — induction
+    variables, accelerator stream depths) runs once, and any
+    ``# loop-bound N`` annotation in ``source`` becomes a *cross-check*
+    against the inferred value rather than a trusted input.  The same
+    pass supplies statically infeasible edges, which the longest-path
+    search prunes (path-sensitive refinement).
+
+    ``accel``/``config`` parameterize the machine environment for
+    inference (accelerator stream contracts, frame envelope).  Callers
+    that already ran the deep pipeline pass its ``absres`` (an
+    :class:`~repro.verify.absint.AbsintResult` carrying ``loop_bounds``)
+    or raw ``bounds`` (header pc -> iterations) and ``infeasible``
+    directly; ``infer=False`` restores the annotation-only PR-5
+    behaviour.
     """
     cm = cycle_model or CycleModel.vexriscv_full()
-    bounds = parse_loop_bounds(source) if source else {}
-    w = _Wcet(cfg, cm, bounds)
+    label_bounds = parse_loop_bounds(source) if source else {}
+    extra_diags: List[Diagnostic] = []
+    pc_provenance: Dict[int, str] = {}
+
+    if bounds is None and cfg.loops and (infer or absres is not None):
+        if absres is None:
+            from .absint import MachineEnv, deep_analyze
+
+            annotations = {
+                cfg.program.symbols[label]: value
+                for label, value in label_bounds.items()
+                if label in cfg.program.symbols
+            }
+            env = MachineEnv(config=config, accel=accel)
+            absres = deep_analyze(cfg, env, annotations=annotations)
+        lb_report = absres.loop_bounds
+        if lb_report is not None:
+            bounds = lb_report.bound_map()
+            pc_provenance = {
+                h: ("annotation" if b.source == "annotation" else "inferred")
+                for h, b in lb_report.bounds.items()
+            }
+            extra_diags.extend(lb_report.diagnostics)
+            label_bounds = {}  # annotations were consumed as cross-checks
+        if infeasible is None:
+            infeasible = absres.infeasible_edges
+
+    for attempt_infeasible in (set(infeasible or ()), set()):
+        w = _Wcet(
+            cfg,
+            cm,
+            label_bounds,
+            pc_bounds=bounds,
+            pc_provenance=pc_provenance,
+            infeasible=attempt_infeasible,
+        )
+        report = _analyze_with(cfg, w)
+        failed = any(d.code == "irreducible-cfg" for d in report.diagnostics)
+        if failed and attempt_infeasible:
+            extra_diags.append(
+                Diagnostic(
+                    "note",
+                    "infeasible-pruning-disabled",
+                    "infeasible-edge pruning disconnected the analysis; "
+                    "recomputed without it (looser but sound)",
+                    firmware=cfg.name,
+                )
+            )
+            continue
+        break
+
+    report.diagnostics = extra_diags + report.diagnostics
+    return report
+
+
+def _analyze_with(cfg: FirmwareCfg, w: _Wcet) -> WcetReport:
     report = WcetReport(name=cfg.name, wcet_cycles=0.0, packet_loop=None)
 
     # the packet loop: outermost loop touching the interconnect window
@@ -512,6 +601,7 @@ def analyze_wcet(
             )
 
     report.loop_bounds = dict(w.used_bounds)
+    report.bound_provenance = dict(w.used_provenance)
     report.diagnostics = w.diags
     return report
 

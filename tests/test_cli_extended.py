@@ -87,6 +87,25 @@ class TestVerifyCommand:
         for name in ("forwarder", "firewall", "pigasus", "pkt_gen"):
             assert name in out
 
+    def test_all_mixed_table_exits_1(self, capsys):
+        # forcing every firmware to a hostile operating point makes at
+        # least one row FAIL; a mixed table must exit nonzero (the CI
+        # gate's contract — a FAIL buried in a table cannot pass)
+        assert main([
+            "verify", "--all", "--size", "64", "--gbps", "400",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "static verification" in out
+
+    def test_deep_prints_absint_detail(self, capsys):
+        assert main(["verify", "--fw", "pigasus", "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "memory safety: PASS" in out
+        assert "loop drain: bound 8 (inferred)" in out
+        # per-access provenance rows: verdict + region + abstract addr
+        assert "proven" in out and "interconnect" in out
+        assert "pkt+len+" in out  # the symbolic append-store address
+
     def test_json_schema(self, tmp_path, capsys):
         import json
 
@@ -98,12 +117,21 @@ class TestVerifyCommand:
         assert len(payload["reports"]) == 6
         report = payload["reports"][0]
         for key in ("name", "point", "passed", "verdict", "wcet", "mmio",
-                    "max_stack_bytes", "lint", "diagnostics"):
+                    "max_stack_bytes", "lint", "diagnostics", "safety"):
             assert key in report, key
         verdict = report["verdict"]
         for key in ("wcet_cycles", "budget_cycles", "headroom_pct",
-                    "ceiling_gbps", "binding"):
+                    "ceiling_gbps", "binding", "memory_safe"):
             assert key in verdict, key
+        safety = report["safety"]
+        for key in ("passed", "proven", "unproven", "violations",
+                    "stack_depth_bytes", "stack_limit_bytes", "checks"):
+            assert key in safety, key
+        assert safety["passed"] is True
+        assert safety["checks"], "per-access provenance must be emitted"
+        check = safety["checks"][0]
+        for key in ("pc", "kind", "nbytes", "addr", "verdict", "region"):
+            assert key in check, key
 
     def test_json_to_stdout(self, capsys):
         import json

@@ -1,0 +1,144 @@
+"""Determinism-lint tests (``repro.verify.detlint``).
+
+The simulator's contract is bit-identical replays; the lint guards the
+three ways nondeterminism usually sneaks in — wall-clock reads,
+unseeded RNG construction, and iteration over unordered sets — and the
+suppression escape hatch requires a written reason.
+"""
+
+import textwrap
+
+from repro.verify.detlint import (
+    DEFAULT_TARGETS,
+    default_targets,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+
+def _codes(source):
+    return [f.code for f in lint_source(textwrap.dedent(source))]
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert _codes("""
+        import time
+        t = time.time()
+        """) == ["wall-clock"]
+
+    def test_perf_counter_via_from_import_alias(self):
+        assert _codes("""
+        from time import perf_counter as pc
+        t = pc()
+        """) == ["wall-clock"]
+
+    def test_datetime_now(self):
+        assert _codes("""
+        import datetime
+        t = datetime.datetime.now()
+        """) == ["wall-clock"]
+
+    def test_monotonic(self):
+        assert _codes("""
+        import time
+        t = time.monotonic()
+        """) == ["wall-clock"]
+
+
+class TestUnseededRng:
+    def test_module_level_random(self):
+        assert _codes("""
+        import random
+        x = random.random()
+        """) == ["unseeded-rng"]
+
+    def test_random_Random_without_seed(self):
+        assert _codes("""
+        import random
+        rng = random.Random()
+        """) == ["unseeded-rng"]
+
+    def test_seeded_Random_is_fine(self):
+        assert _codes("""
+        import random
+        rng = random.Random(1234)
+        x = rng.random()
+        """) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        assert _codes("""
+        for x in set(items):
+            use(x)
+        """) == ["set-iteration"]
+
+    def test_for_over_set_literal(self):
+        assert _codes("""
+        for x in {1, 2, 3}:
+            use(x)
+        """) == ["set-iteration"]
+
+    def test_comprehension_over_frozenset(self):
+        assert _codes("""
+        out = [x for x in frozenset(items)]
+        """) == ["set-iteration"]
+
+    def test_sorted_set_is_fine(self):
+        assert _codes("""
+        for x in sorted(set(items)):
+            use(x)
+        """) == []
+
+
+class TestSuppression:
+    def test_ok_with_reason_suppresses(self):
+        assert _codes("""
+        import time
+        t = time.monotonic()  # detlint: ok(watchdog, not simulated time)
+        """) == []
+
+    def test_bare_ok_without_reason_does_not(self):
+        assert _codes("""
+        import time
+        t = time.monotonic()  # detlint: ok
+        """) == ["wall-clock"]
+
+    def test_suppression_must_sit_on_the_offending_line(self):
+        assert _codes("""
+        import time
+        # detlint: ok(reason on the wrong line)
+        t = time.monotonic()
+        """) == ["wall-clock"]
+
+
+class TestPathsAndCli:
+    def test_lint_paths_on_a_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        findings = lint_paths([bad])
+        assert len(findings) == 1
+        assert findings[0].path == str(bad)
+        assert findings[0].line == 2
+        assert str(bad) in findings[0].format()
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main([str(clean)]) == 0
+        assert main([str(bad)]) == 1
+        assert "unseeded-rng" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_default_targets_are_clean(self):
+        # the tree the CI job lints: any finding here is a regression
+        # (or needs an explicit `# detlint: ok(reason)` with a reason)
+        targets = default_targets()
+        assert [t.name for t in targets] == [
+            t.split("/")[-1] for t in DEFAULT_TARGETS
+        ]
+        assert lint_paths(targets) == []

@@ -97,12 +97,30 @@ class TestWcetSoundness:
         assert wcet.wcet_cycles == 29  # drop path, hand-verified
 
     def test_pigasus_sound_via_loop_bound(self):
+        from repro.accel.pigasus import PigasusStringMatcher
+
         cfg = analyze_source(PIGASUS_ASM, name="pigasus")
-        wcet = analyze_wcet(cfg, source=PIGASUS_ASM)
-        # the drain loop is bounded by annotation, not measurement
+        wcet = analyze_wcet(
+            cfg, source=PIGASUS_ASM, accel=PigasusStringMatcher()
+        )
+        # the drain loop bound is *inferred* from the matcher's declared
+        # 8-deep match FIFO (stream rule) — the source carries no
+        # annotation any more
         assert wcet.loop_bounds == {"drain": 8}
+        assert wcet.bound_provenance == {"drain": "inferred"}
         assert wcet.wcet_cycles == 175
         assert math.isfinite(wcet.wcet_cycles)
+
+    def test_pigasus_without_accel_falls_back_to_default(self):
+        # no accelerator -> no stream contract -> the drain loop gets
+        # the conservative default and a warning, and the bound can
+        # only move in the sound (larger) direction
+        cfg = analyze_source(PIGASUS_ASM, name="pigasus")
+        wcet = analyze_wcet(cfg, source=PIGASUS_ASM)
+        assert wcet.loop_bounds["drain"] == 64
+        assert wcet.bound_provenance["drain"] == "default"
+        assert wcet.wcet_cycles > 175
+        assert any(d.code == "unannotated-loop" for d in wcet.diagnostics)
 
     def test_all_bundled_wcets_finite_and_deterministic(self):
         values = {r.name: r.wcet.wcet_cycles for r in verify_all()}
@@ -145,8 +163,10 @@ class TestLoopBoundParsing:
         bounds = parse_loop_bounds("# loop-bound 12\nretry:\n    j retry\n")
         assert bounds == {"retry": 12}
 
-    def test_pigasus_source_annotated(self):
-        assert parse_loop_bounds(PIGASUS_ASM) == {"drain": 8}
+    def test_pigasus_source_no_longer_annotated(self):
+        # the drain bound migrated from a trusted annotation to the
+        # inferred stream contract (see docs/STATIC_ANALYSIS.md)
+        assert parse_loop_bounds(PIGASUS_ASM) == {}
 
 
 class TestBudgetFormula:
